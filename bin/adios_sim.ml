@@ -1,0 +1,151 @@
+(* Command-line front end: run a single experiment point on any
+   (system, application, load) combination and print the measurements.
+
+     adios_sim --system adios --app array --load 1300 --requests 60000
+     adios_sim --system dilos --app rocksdb --load 500 --cdf
+     adios_sim --system adios --app silo --load 300 --breakdown *)
+
+module Config = Adios_core.Config
+module Runner = Adios_core.Runner
+module Report = Adios_core.Report
+module Summary = Adios_stats.Summary
+module Clock = Adios_engine.Clock
+
+let system_conv =
+  let parse = function
+    | "dilos" -> Ok Config.Dilos
+    | "dilos-p" | "dilosp" -> Ok Config.Dilos_p
+    | "adios" -> Ok Config.Adios
+    | "hermit" -> Ok Config.Hermit
+    | s -> Error (`Msg ("unknown system: " ^ s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Config.system_name s) in
+  Cmdliner.Arg.conv (parse, print)
+
+let app_of_name = function
+  | "array" -> Ok (Adios_apps.Array_bench.app ())
+  | "memcached" | "memcached-128" -> Ok (Adios_apps.Memcached.app ())
+  | "memcached-1024" -> Ok (Adios_apps.Memcached.app ~value_bytes:1024 ())
+  | "rocksdb" -> Ok (Adios_apps.Rocksdb.app ())
+  | "silo" -> Ok (Adios_apps.Silo.app ())
+  | "faiss" -> Ok (Adios_apps.Faiss.app ())
+  | s -> Error (`Msg ("unknown app: " ^ s))
+
+let app_conv =
+  let print ppf (a : Adios_core.App.t) =
+    Format.pp_print_string ppf a.Adios_core.App.name
+  in
+  Cmdliner.Arg.conv (app_of_name, print)
+
+let dispatch_conv =
+  let parse = function
+    | "pf-aware" -> Ok Config.Pf_aware
+    | "rr" | "round-robin" -> Ok Config.Round_robin
+    | "partitioned" -> Ok Config.Partitioned
+    | "stealing" | "work-stealing" -> Ok Config.Work_stealing
+    | s -> Error (`Msg ("unknown dispatch policy: " ^ s))
+  in
+  let print ppf d = Format.pp_print_string ppf (Config.dispatch_name d) in
+  Cmdliner.Arg.conv (parse, print)
+
+let run system app load requests local_ratio dispatch prefetch no_delegation
+    seed show_cdf show_breakdown =
+  let cfg = Config.default system in
+  let cfg =
+    {
+      cfg with
+      Config.local_ratio;
+      seed;
+      dispatch = (match dispatch with Some d -> d | None -> cfg.Config.dispatch);
+      prefetch =
+        (if prefetch > 0 then Config.Stride prefetch else Config.No_prefetch);
+      tx_mode =
+        (if no_delegation then Config.Tx_sync_spin else cfg.Config.tx_mode);
+    }
+  in
+  let r = Runner.run cfg app ~offered_krps:load ~requests () in
+  Report.result_line r;
+  List.iter
+    (fun (k, s) -> Format.printf "%-6s %a@." k Summary.pp s)
+    r.Runner.kind_summaries;
+  if show_breakdown then Report.breakdown ~title:"latency breakdown (cycles)" r;
+  if show_cdf then Report.cdf ~title:"latency CDF" r
+
+open Cmdliner
+
+let system_arg =
+  Arg.(
+    value
+    & opt system_conv Config.Adios
+    & info [ "system"; "s" ] ~docv:"SYSTEM"
+        ~doc:"System under test: adios, dilos, dilos-p or hermit.")
+
+let app_arg =
+  Arg.(
+    value
+    & opt app_conv (Adios_apps.Array_bench.app ())
+    & info [ "app"; "a" ] ~docv:"APP"
+        ~doc:
+          "Application: array, memcached, memcached-1024, rocksdb, silo or \
+           faiss.")
+
+let load_arg =
+  Arg.(
+    value & opt float 1000.
+    & info [ "load"; "l" ] ~docv:"KRPS" ~doc:"Offered load in KRPS.")
+
+let requests_arg =
+  Arg.(
+    value & opt int 40_000
+    & info [ "requests"; "n" ] ~docv:"N" ~doc:"Requests to inject.")
+
+let ratio_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "local-ratio" ] ~docv:"F"
+        ~doc:"Local DRAM as a fraction of the working set (default 0.2).")
+
+let dispatch_arg =
+  Arg.(
+    value
+    & opt (some dispatch_conv) None
+    & info [ "dispatch" ] ~docv:"POLICY"
+        ~doc:
+          "Queueing policy: pf-aware, rr, partitioned or stealing (default: \
+           the system's own).")
+
+let prefetch_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "prefetch" ] ~docv:"DEGREE"
+        ~doc:"Stride-prefetch up to DEGREE pages per detected stride (0 = off).")
+
+let no_delegation_arg =
+  Arg.(
+    value & flag
+    & info [ "no-delegation" ]
+        ~doc:"Disable polling delegation: workers busy-wait on reply TX.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let cdf_arg =
+  Arg.(value & flag & info [ "cdf" ] ~doc:"Print the latency CDF.")
+
+let breakdown_arg =
+  Arg.(
+    value & flag
+    & info [ "breakdown" ] ~doc:"Print the per-stage latency breakdown.")
+
+let cmd =
+  let doc =
+    "run one memory-disaggregation experiment point (Adios reproduction)"
+  in
+  Cmd.v
+    (Cmd.info "adios_sim" ~doc)
+    Term.(
+      const run $ system_arg $ app_arg $ load_arg $ requests_arg $ ratio_arg
+      $ dispatch_arg $ prefetch_arg $ no_delegation_arg $ seed_arg $ cdf_arg
+      $ breakdown_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,36 @@
+(* Capacity planning with the simulator: how much local DRAM does a
+   memcached-style KVS need before its tail latency is acceptable, and
+   how does the answer differ between a busy-waiting and a yield-based
+   MD system? (This is Fig. 8's question asked the way an operator
+   would.)
+
+     dune exec examples/kv_cache_sizing.exe *)
+
+module Config = Adios_core.Config
+module Runner = Adios_core.Runner
+module Summary = Adios_stats.Summary
+module Clock = Adios_engine.Clock
+
+let () =
+  let app = Adios_apps.Memcached.app ~value_bytes:128 () in
+  let load = 700. (* KRPS, below either system's saturation *) in
+  Printf.printf
+    "memcached GET @ %.0f krps: P99.9 latency vs local-DRAM provisioning\n\n"
+    load;
+  Printf.printf "%-12s %12s %12s\n" "local DRAM" "DiLOS" "Adios";
+  List.iter
+    (fun ratio ->
+      let tail system =
+        let cfg =
+          { (Config.default system) with Config.local_ratio = ratio }
+        in
+        let r = Runner.run cfg app ~offered_krps:load ~requests:25_000 () in
+        Clock.to_us r.Runner.e2e.Summary.p999
+      in
+      Printf.printf "%9.0f%% %10.1fus %10.1fus\n" (100. *. ratio)
+        (tail Config.Dilos) (tail Config.Adios))
+    [ 0.1; 0.2; 0.4; 0.6; 0.8 ];
+  print_endline
+    "\nReading: a yield-based system reaches a given tail-latency target\n\
+     with a smaller local cache, i.e. more of the working set can stay\n\
+     on cheap remote memory (the paper's Fig. 8 observation)."

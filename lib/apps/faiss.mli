@@ -1,0 +1,11 @@
+(** Faiss adapter (section 5.2, Fig. 13): IndexIVFFlat similarity search
+    over a BIGANN-style uint8 dataset, one query per request, top-10
+    results. Request-level parallelism comes from Adios' MD scheduler
+    instead of OpenMP, as in the paper. The dataset is scaled from 100M
+    vectors / 48 GB to 100k vectors at the same 20% local-DRAM ratio, so
+    absolute latencies shrink from tens of milliseconds to hundreds of
+    microseconds while the fault-bound scan behaviour is preserved
+    (DESIGN.md section 2). *)
+
+val app : ?params:Ivf.params -> ?k:int -> unit -> Adios_core.App.t
+(** Vector-search application; [k] (default 10) results per query. *)

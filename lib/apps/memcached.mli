@@ -1,0 +1,22 @@
+(** Memcached adapter (section 5.2, Fig. 10): GET-only workload over the
+    paged hash-table KVS, 50-byte keys, 128 B or 1024 B values, uniform
+    key popularity. The adapter plays the role of the paper's 100-300
+    LoC glue that parses requests and calls into the application. *)
+
+val kind_get : int
+val kind_set : int
+
+val app :
+  ?keys:int ->
+  ?value_bytes:int ->
+  ?zipf_theta:float ->
+  ?set_fraction:float ->
+  unit ->
+  Adios_core.App.t
+(** [app ~value_bytes ()] with [value_bytes] 128 (default) or 1024.
+    [keys] defaults to a working set of about 64 MB at the chosen value
+    size (standing in for the paper's 40 GB at the same 20% local
+    ratio). [zipf_theta] (default 0 = uniform) skews key popularity.
+    [set_fraction] (default 0, the paper's GET-only workload) mixes in
+    in-place SETs, which dirty pages and add write-back traffic on the
+    memory-node link. *)

@@ -1,0 +1,19 @@
+(** RocksDB adapter (section 5.2, Fig. 11): a bimodal 99% GET / 1%
+    SCAN(100) mix over the PlainTable-style store, 1024 B values.
+    SCAN(100) iterates 100 keys and so runs 25-100x longer than a GET
+    depending on how many of its pages fault — the high-dispersion
+    workload where preemptive scheduling (DiLOS-P) earns its keep and
+    Adios still wins. *)
+
+val kind_get : int
+val kind_scan : int
+
+val app :
+  ?keys:int ->
+  ?value_bytes:int ->
+  ?scan_fraction:float ->
+  ?scan_length:int ->
+  unit ->
+  Adios_core.App.t
+(** Defaults: ~64 MB of rows at [value_bytes = 1024],
+    [scan_fraction = 0.01], [scan_length = 100]. *)

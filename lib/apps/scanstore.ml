@@ -1,0 +1,83 @@
+module View = Adios_mem.View
+
+type t = {
+  keys : int;
+  value_bytes : int;
+  index_base : int;
+  index_slots : int;
+  data_base : int;
+  slot_bytes : int;
+}
+
+let slot_bytes_of value_bytes = 8 + value_bytes
+
+let rec pow2_at_least n v = if v >= n then v else pow2_at_least n (v * 2)
+
+let layout ~keys ~value_bytes =
+  let index_slots = pow2_at_least keys 1024 in
+  let index_bytes = index_slots * 8 in
+  let slot_bytes = slot_bytes_of value_bytes in
+  (index_slots, index_bytes, slot_bytes)
+
+let pages_needed ~keys ~value_bytes =
+  let _, index_bytes, slot_bytes = layout ~keys ~value_bytes in
+  (index_bytes + (keys * slot_bytes) + 4096 + 4095) / 4096
+
+let expected_value t key =
+  let base = Printf.sprintf "row-%012d-" key in
+  let fill = t.value_bytes - String.length base in
+  if fill <= 0 then String.sub base 0 t.value_bytes
+  else base ^ String.make fill (Char.chr (Char.code 'a' + (key mod 26)))
+
+let slot_addr t i = t.data_base + (i * t.slot_bytes)
+
+(* the prefix index maps key -> slot address (dense keys: direct) *)
+let index_addr t key = t.index_base + (key land (t.index_slots - 1)) * 8
+
+let create view ~keys ~value_bytes =
+  let index_slots, index_bytes, slot_bytes = layout ~keys ~value_bytes in
+  let t =
+    {
+      keys;
+      value_bytes;
+      index_base = 0;
+      index_slots;
+      data_base = index_bytes;
+      slot_bytes;
+    }
+  in
+  for i = 0 to keys - 1 do
+    let addr = slot_addr t i in
+    View.write_u64 view addr (Int64.of_int i);
+    View.write_string view (addr + 8) (expected_value t i);
+    View.write_int view (index_addr t i) (addr + 1)
+  done;
+  t
+
+let keys t = t.keys
+
+let get t view key =
+  if key < 0 || key >= t.keys then None
+  else begin
+    let ptr = View.read_int view (index_addr t key) in
+    if ptr = 0 then None
+    else begin
+      let addr = ptr - 1 in
+      let stored = Int64.to_int (View.read_u64 view addr) in
+      if stored <> key then None
+      else Some (View.read_string view (addr + 8) t.value_bytes)
+    end
+  end
+
+let scan t view ?(on_row = fun _ _ -> ()) start n =
+  let rec go i visited =
+    if visited >= n || i >= t.keys then visited
+    else begin
+      let addr = slot_addr t i in
+      let key = Int64.to_int (View.read_u64 view addr) in
+      let value = View.read_string view (addr + 8) t.value_bytes in
+      on_row key value;
+      go (i + 1) (visited + 1)
+    end
+  in
+  go (max 0 start) 0

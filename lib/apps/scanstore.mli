@@ -1,0 +1,31 @@
+(** PlainTable-style sorted store with range scans — the substrate under
+    the RocksDB adapter.
+
+    Records live in key order as fixed slots ([key:u64 | value]) in one
+    data region, fronted by a hash index from key prefix to slot (the
+    mmap-mode PlainTable read path: index probe, then loads straight
+    from the mapped file). A GET touches the index page plus the slot
+    pages; SCAN(n) iterates n consecutive slots, paging sequentially
+    through the data region — the long-service-time request class that
+    causes HOL blocking in Fig. 11. *)
+
+type t
+
+val create : Adios_mem.View.t -> keys:int -> value_bytes:int -> t
+(** Build and populate with [keys] records of [value_bytes] values. *)
+
+val pages_needed : keys:int -> value_bytes:int -> int
+(** Arena pages required. *)
+
+val keys : t -> int
+
+val get : t -> Adios_mem.View.t -> int -> string option
+(** Point lookup by key through the (possibly faulting) view. *)
+
+val scan :
+  t -> Adios_mem.View.t -> ?on_row:(int -> string -> unit) -> int -> int -> int
+(** [scan t view start n] visits up to [n] records from key [start] in
+    key order, returning the count visited. [on_row] sees each record. *)
+
+val expected_value : t -> int -> string
+(** Canonical value for a key, for correctness checks. *)

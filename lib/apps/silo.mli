@@ -1,0 +1,13 @@
+(** Silo adapter (section 5.2, Fig. 12): the TPC-C mix over the paged
+    database — New-Order 44.5%, Payment 43.1%, Order-Status 4.1%,
+    Delivery 4.2%, Stock-Level 4.1% — with NURand customer selection.
+    Transactions run inside unithreads (the paper ports Caladan-variant
+    Silo onto Adios' unithreads the same way) and 4 KB pages. *)
+
+val kind_names : string array
+(** [NO; PAY; OS; DLV; SL] in spec order. *)
+
+val app : ?config:Tpcc.config -> unit -> Adios_core.App.t
+(** TPC-C application; default {!Tpcc.default_config} (2 warehouses,
+    ~100 MB working set standing in for the paper's SF=200 / 20 GB at
+    the same 20% local ratio). *)

@@ -1,0 +1,18 @@
+type ctx = {
+  view : Adios_mem.View.t;
+  compute : int -> unit;
+  checkpoint : unit -> unit;
+  rng : Adios_engine.Rng.t;
+}
+
+type t = {
+  name : string;
+  pages : int;
+  page_size : int;
+  build : Adios_mem.View.t -> unit;
+  gen : Adios_engine.Rng.t -> Request.spec;
+  handle : ctx -> Request.spec -> unit;
+  kinds : string array;
+}
+
+let page_size = 4096

@@ -1,0 +1,37 @@
+(** Interface between applications and the MD runtime.
+
+    An application declares its working set, builds its dataset into the
+    arena before the clock starts, generates request specs for the load
+    generator, and handles one request at a time through a {!ctx} whose
+    [view] faults like real paged memory. The same application code runs
+    on every system under test — like the paper's apps, which only add a
+    remote-memory mmap flag. *)
+
+type ctx = {
+  view : Adios_mem.View.t;
+      (** paged access to the working set; reads may block the caller *)
+  compute : int -> unit;
+      (** charge CPU cycles to the current unithread (blocks the worker) *)
+  checkpoint : unit -> unit;
+      (** preemption probe; apps call it between work units (Concord's
+          compiler would insert these) *)
+  rng : Adios_engine.Rng.t;
+      (** deterministic per-run randomness for app-internal choices *)
+}
+
+type t = {
+  name : string;
+  pages : int;  (** working-set size in 4 KB pages *)
+  page_size : int;
+  build : Adios_mem.View.t -> unit;
+      (** populate the dataset (direct, non-faulting view) *)
+  gen : Adios_engine.Rng.t -> Request.spec;
+      (** draw one request from the workload distribution *)
+  handle : ctx -> Request.spec -> unit;
+      (** serve a request; runs inside a unithread *)
+  kinds : string array;
+      (** display names for [Request.spec.kind] values *)
+}
+
+val page_size : int
+(** Compute-node page size: 4 KB everywhere (the paper's compute side). *)

@@ -1,0 +1,63 @@
+type system = Dilos | Dilos_p | Adios | Hermit
+
+let system_name = function
+  | Dilos -> "DiLOS"
+  | Dilos_p -> "DiLOS-P"
+  | Adios -> "Adios"
+  | Hermit -> "Hermit"
+
+type dispatch = Pf_aware | Round_robin | Partitioned | Work_stealing
+
+type tx_mode = Tx_delegated | Tx_sync_spin | Tx_deferred
+
+let tx_mode_name = function
+  | Tx_delegated -> "delegated"
+  | Tx_sync_spin -> "sync-spin"
+  | Tx_deferred -> "deferred"
+
+type prefetch = No_prefetch | Stride of int
+
+let prefetch_name = function
+  | No_prefetch -> "off"
+  | Stride d -> Printf.sprintf "stride(%d)" d
+
+
+let dispatch_name = function
+  | Pf_aware -> "PF-Aware"
+  | Round_robin -> "RR"
+  | Partitioned -> "Partitioned"
+  | Work_stealing -> "Work-Stealing"
+
+type t = {
+  system : system;
+  dispatch : dispatch;
+  tx_mode : tx_mode;
+  prefetch : prefetch;
+  workers : int;
+  local_ratio : float;
+  qp_depth : int;
+  central_queue_capacity : int;
+  buffer_count : int;
+  reclaim : Adios_mem.Reclaimer.mode;
+  reclaim_config : Adios_mem.Reclaimer.config;
+  seed : int;
+}
+
+let default system =
+  let adios = system = Adios in
+  {
+    system;
+    dispatch = (if adios then Pf_aware else Round_robin);
+    tx_mode = (if adios then Tx_delegated else Tx_deferred);
+    prefetch = No_prefetch;
+    workers = Params.workers;
+    local_ratio = 0.20;
+    qp_depth = Params.qp_depth;
+    central_queue_capacity = Params.central_queue_capacity;
+    buffer_count = Params.buffer_count;
+    reclaim =
+      (if adios then Adios_mem.Reclaimer.Proactive
+       else Adios_mem.Reclaimer.Wakeup);
+    reclaim_config = Adios_mem.Reclaimer.default_config;
+    seed = 42;
+  }

@@ -1,0 +1,75 @@
+module Summary = Adios_stats.Summary
+module Clock = Adios_engine.Clock
+
+let csv_header =
+  String.concat ","
+    [
+      "system";
+      "app";
+      "offered_krps";
+      "achieved_krps";
+      "drop_fraction";
+      "p50_us";
+      "p90_us";
+      "p99_us";
+      "p999_us";
+      "mean_us";
+      "rdma_util";
+      "faults";
+      "coalesced";
+      "evictions";
+      "preemptions";
+      "qp_stalls";
+      "frame_stalls";
+      "prefetch_issued";
+      "prefetch_useful";
+      "prefetch_wasted";
+    ]
+
+let csv_row (r : Runner.result) =
+  let us v = Printf.sprintf "%.3f" (Clock.to_us v) in
+  let issued, useful, wasted = r.Runner.prefetches in
+  String.concat ","
+    [
+      r.Runner.system;
+      r.Runner.app;
+      Printf.sprintf "%.1f" r.Runner.offered_krps;
+      Printf.sprintf "%.1f" r.Runner.achieved_krps;
+      Printf.sprintf "%.4f" r.Runner.drop_fraction;
+      us r.Runner.e2e.Summary.p50;
+      us r.Runner.e2e.Summary.p90;
+      us r.Runner.e2e.Summary.p99;
+      us r.Runner.e2e.Summary.p999;
+      Printf.sprintf "%.3f"
+        (r.Runner.e2e.Summary.mean /. float_of_int Clock.cycles_per_us);
+      Printf.sprintf "%.4f" r.Runner.rdma_util;
+      string_of_int r.Runner.faults;
+      string_of_int r.Runner.coalesced;
+      string_of_int r.Runner.evictions;
+      string_of_int r.Runner.preemptions;
+      string_of_int r.Runner.qp_stalls;
+      string_of_int r.Runner.frame_stalls;
+      string_of_int issued;
+      string_of_int useful;
+      string_of_int wasted;
+    ]
+
+let to_csv sweeps =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (_, results) ->
+      List.iter
+        (fun r ->
+          Buffer.add_string buf (csv_row r);
+          Buffer.add_char buf '\n')
+        results)
+    sweeps;
+  Buffer.contents buf
+
+let write_csv ~path sweeps =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv sweeps))

@@ -1,0 +1,15 @@
+(** Machine-readable result export: turn sweep results into CSV for
+    plotting (gnuplot/pandas) or archival next to EXPERIMENTS.md. *)
+
+val csv_header : string
+(** Column names of {!csv_row}, comma-separated. *)
+
+val csv_row : Runner.result -> string
+(** One result as a CSV line (latencies in microseconds). *)
+
+val to_csv : (string * Runner.result list) list -> string
+(** A whole sweep — the [(system, results)] pairs the bench harness
+    builds — as a CSV document with header. *)
+
+val write_csv : path:string -> (string * Runner.result list) list -> unit
+(** [to_csv] straight to a file. *)

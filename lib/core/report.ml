@@ -1,0 +1,165 @@
+module Summary = Adios_stats.Summary
+module Breakdown = Adios_stats.Breakdown
+module Clock = Adios_engine.Clock
+
+let pf = Printf.printf
+
+let header title =
+  pf "\n==== %s ====\n" title
+
+let pick_percentile (s : Summary.t) = function
+  | "p50" -> s.Summary.p50
+  | "p99" -> s.Summary.p99
+  | "p99.9" -> s.Summary.p999
+  | "p10" -> s.Summary.p10
+  | p -> invalid_arg ("Report: unknown percentile " ^ p)
+
+let us v = Clock.to_us v
+
+let series_table ~title ~ylabel ~rows systems =
+  pf "\n-- %s --\n" title;
+  pf "%-14s" "offered_krps";
+  List.iter (fun (name, _) -> pf "%14s" name) systems;
+  pf "    (%s)\n" ylabel;
+  rows ()
+
+let latency_of_result ~kind ~percentile (r : Runner.result) =
+  match kind with
+  | None -> pick_percentile r.Runner.e2e percentile
+  | Some k -> (
+    match List.assoc_opt k r.Runner.kind_summaries with
+    | Some s -> pick_percentile s percentile
+    | None -> 0)
+
+let latency_table ~title ~kind ~percentile systems =
+  let points =
+    match systems with [] -> 0 | (_, rs) :: _ -> List.length rs
+  in
+  series_table ~title ~ylabel:(percentile ^ " latency, us")
+    ~rows:(fun () ->
+      for i = 0 to points - 1 do
+        let offered =
+          (List.nth (snd (List.hd systems)) i).Runner.offered_krps
+        in
+        pf "%-14.0f" offered;
+        List.iter
+          (fun (_, rs) ->
+            let r = List.nth rs i in
+            pf "%14.2f" (us (latency_of_result ~kind ~percentile r)))
+          systems;
+        pf "\n"
+      done)
+    systems
+
+let latency_vs_load ~title ~percentile systems =
+  latency_table ~title ~kind:None ~percentile systems
+
+let kind_latency_vs_load ~title ~kind ~percentile systems =
+  latency_table ~title ~kind:(Some kind) ~percentile systems
+
+let throughput_vs_load ~title systems =
+  let points =
+    match systems with [] -> 0 | (_, rs) :: _ -> List.length rs
+  in
+  series_table ~title ~ylabel:"achieved krps" ~rows:(fun () ->
+      for i = 0 to points - 1 do
+        let offered =
+          (List.nth (snd (List.hd systems)) i).Runner.offered_krps
+        in
+        pf "%-14.0f" offered;
+        List.iter
+          (fun (_, rs) ->
+            pf "%14.0f" (List.nth rs i).Runner.achieved_krps)
+          systems;
+        pf "\n"
+      done)
+    systems
+
+let util_vs_load ~title systems =
+  let points =
+    match systems with [] -> 0 | (_, rs) :: _ -> List.length rs
+  in
+  series_table ~title ~ylabel:"rdma wire util %" ~rows:(fun () ->
+      for i = 0 to points - 1 do
+        let offered =
+          (List.nth (snd (List.hd systems)) i).Runner.offered_krps
+        in
+        pf "%-14.0f" offered;
+        List.iter
+          (fun (_, rs) ->
+            pf "%14.1f" (100. *. (List.nth rs i).Runner.rdma_util))
+          systems;
+        pf "\n"
+      done)
+    systems
+
+let cdf ~title (r : Runner.result) =
+  pf "\n-- %s --\n" title;
+  pf "%-14s %s\n" "latency_us" "cdf";
+  List.iter
+    (fun (v, frac) -> pf "%-14.2f %.5f\n" (us v) frac)
+    (Adios_stats.Histogram.cdf r.Runner.e2e_hist ~points:40 ())
+
+let breakdown ~title (r : Runner.result) =
+  pf "\n-- %s --\n" title;
+  pf "%-8s %10s %10s %10s %10s %10s %10s %10s\n" "pctile" "queue"
+    "(busywait)" "compute" "pf_sw" "rdma" "ready_wait" "tx";
+  List.iter
+    (fun p ->
+      match Breakdown.at_percentile r.Runner.breakdown p with
+      | None -> ()
+      | Some c ->
+        pf "P%-7g %10d %10d %10d %10d %10d %10d %10d  (total %d cycles)\n" p
+          c.Breakdown.queue c.Breakdown.queue_busywait c.Breakdown.compute
+          c.Breakdown.pf_sw c.Breakdown.rdma c.Breakdown.ready_wait
+          c.Breakdown.tx (Breakdown.total c))
+    [ 10.; 50.; 99.; 99.9 ]
+
+let peak_throughput systems =
+  List.map
+    (fun (name, rs) ->
+      ( name,
+        List.fold_left
+          (fun acc (r : Runner.result) -> Float.max acc r.Runner.achieved_krps)
+          0. rs ))
+    systems
+
+(* largest per-load-point P99.9 improvement over the baseline — the
+   paper's "up to N x better P99.9" metric *)
+let max_tail_ratio base_rs rs =
+  List.fold_left2
+    (fun acc (b : Runner.result) (r : Runner.result) ->
+      let bt = b.Runner.e2e.Summary.p999
+      and rt = r.Runner.e2e.Summary.p999 in
+      if bt > 0 && rt > 0 then Float.max acc (float_of_int bt /. float_of_int rt)
+      else acc)
+    0. base_rs rs
+
+let summary_speedups ~baseline systems =
+  match List.assoc_opt baseline systems with
+  | None -> pf "summary: baseline %s missing\n" baseline
+  | Some base_rs ->
+    let peaks = peak_throughput systems in
+    let base_peak = List.assoc baseline peaks in
+    pf "\n-- speedups vs %s --\n" baseline;
+    List.iter
+      (fun (name, rs) ->
+        if name <> baseline && List.length rs = List.length base_rs then begin
+          let peak = List.assoc name peaks in
+          pf "%-10s peak throughput x%.2f   P99.9 up to x%.2f\n" name
+            (peak /. base_peak) (max_tail_ratio base_rs rs)
+        end)
+      systems
+
+let result_line (r : Runner.result) =
+  pf
+    "%s/%s offered=%.0fkrps achieved=%.0fkrps drop=%.3f p50=%.2fus \
+     p99=%.2fus p99.9=%.2fus util=%.1f%% faults=%d evict=%d preempt=%d \
+     qp_stalls=%d\n"
+    r.Runner.system r.Runner.app r.Runner.offered_krps r.Runner.achieved_krps
+    r.Runner.drop_fraction
+    (us r.Runner.e2e.Summary.p50)
+    (us r.Runner.e2e.Summary.p99)
+    (us r.Runner.e2e.Summary.p999)
+    (100. *. r.Runner.rdma_util)
+    r.Runner.faults r.Runner.evictions r.Runner.preemptions r.Runner.qp_stalls

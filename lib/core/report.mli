@@ -1,0 +1,43 @@
+(** Table rendering for experiment results — each function prints one
+    paper figure/table as rows on stdout so EXPERIMENTS.md can quote
+    bench output verbatim. *)
+
+val header : string -> unit
+(** Banner line for an experiment section. *)
+
+val latency_vs_load :
+  title:string -> percentile:string -> (string * Runner.result list) list -> unit
+(** One row per offered-load point, one column per system:
+    [percentile] is ["p50"], ["p99"] or ["p99.9"]. *)
+
+val kind_latency_vs_load :
+  title:string ->
+  kind:string ->
+  percentile:string ->
+  (string * Runner.result list) list ->
+  unit
+(** Like {!latency_vs_load} but for one request class (GET or SCAN). *)
+
+val throughput_vs_load : title:string -> (string * Runner.result list) list -> unit
+(** Offered vs achieved KRPS per system (Figs. 2(d)/7(d)). *)
+
+val util_vs_load : title:string -> (string * Runner.result list) list -> unit
+(** Offered load vs RDMA wire utilization (Figs. 2(e)/7(e)). *)
+
+val cdf : title:string -> Runner.result -> unit
+(** Latency CDF of one run (Fig. 2(b)). *)
+
+val breakdown : title:string -> Runner.result -> unit
+(** Component decomposition at P10/P50/P99/P99.9 (Figs. 2(c)/7(c)). *)
+
+val peak_throughput : (string * Runner.result list) list -> (string * float) list
+(** Highest achieved KRPS per system across a sweep. *)
+
+val summary_speedups :
+  baseline:string -> (string * Runner.result list) list -> unit
+(** Print, against [baseline], each system's peak-throughput ratio and
+    its largest per-load-point P99.9 improvement — the conclusion's
+    "up to N x" headline numbers. *)
+
+val result_line : Runner.result -> unit
+(** One-line dump of a single run (diagnostics). *)

@@ -1,0 +1,26 @@
+(** A networked request flowing through the system, with the timestamp
+    chain and latency decomposition attached. *)
+
+type spec = {
+  kind : int;  (** application opcode class (e.g. 0 = GET, 1 = SCAN) *)
+  key : int;  (** application argument *)
+  req_bytes : int;  (** request packet payload *)
+  reply_bytes : int;  (** reply packet payload *)
+}
+
+type t = {
+  id : int;
+  spec : spec;
+  tx_at : int;  (** load-generator hardware TX timestamp *)
+  mutable rx_at : int;  (** compute-node RX timestamp *)
+  mutable dispatched_at : int;  (** left the central queue *)
+  mutable done_at : int;  (** reply delivered back to the load generator *)
+  mutable buffer : int;  (** unithread buffer id, -1 before admission *)
+  comps : Adios_stats.Breakdown.components;
+}
+
+val make : id:int -> spec:spec -> tx_at:int -> t
+(** Fresh request stamped with its generation time. *)
+
+val e2e_latency : t -> int
+(** [done_at - tx_at]; meaningful once completed. *)

@@ -1,0 +1,143 @@
+module Sim = Adios_engine.Sim
+module Proc = Adios_engine.Proc
+module Clock = Adios_engine.Clock
+module Rng = Adios_engine.Rng
+module Raw_eth = Adios_rdma.Raw_eth
+module Link = Adios_rdma.Link
+module Histogram = Adios_stats.Histogram
+module Summary = Adios_stats.Summary
+module Breakdown = Adios_stats.Breakdown
+
+type result = {
+  system : string;
+  app : string;
+  offered_krps : float;
+  achieved_krps : float;
+  drop_fraction : float;
+  e2e : Summary.t;
+  kind_summaries : (string * Summary.t) list;
+  e2e_hist : Histogram.t;
+  breakdown : Breakdown.t;
+  rdma_util : float;
+  faults : int;
+  coalesced : int;
+  evictions : int;
+  preemptions : int;
+  qp_stalls : int;
+  frame_stalls : int;
+  prefetches : int * int * int;
+  completed : int;
+  dropped : int;
+  buffer_hwm : int;
+}
+
+let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) () =
+  let warmup = match warmup with Some w -> w | None -> requests / 10 in
+  let sim = Sim.create () in
+  let e2e_hist = Histogram.create () in
+  let kind_hists =
+    Array.init (Array.length app.App.kinds) (fun _ -> Histogram.create ())
+  in
+  let breakdown = Breakdown.create () in
+  let replies = ref 0 and recorded = ref 0 in
+  let on_reply (req : Request.t) =
+    incr replies;
+    if req.Request.id > warmup then begin
+      incr recorded;
+      Histogram.record e2e_hist (Request.e2e_latency req);
+      let kind = req.Request.spec.Request.kind in
+      if kind >= 0 && kind < Array.length kind_hists then
+        Histogram.record kind_hists.(kind) (Request.e2e_latency req);
+      Breakdown.record breakdown req.Request.comps
+    end
+  in
+  let system = System.create sim cfg app ~on_reply in
+  let client_link =
+    Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead
+      ()
+  in
+  let to_compute =
+    Raw_eth.create sim ~link:client_link
+      ~latency_cycles:Params.eth_latency_cycles
+      ~deliver:(fun ~rx_at req -> System.receive system ~rx_at req)
+  in
+  (* measurement window bookkeeping, armed when the warmup ends *)
+  let window_start = ref 0 in
+  let fetch_snapshot = ref 0 in
+  let drops_at_start = ref 0 in
+  let counters = System.counters system in
+  let drops () =
+    counters.System.drops_queue + counters.System.drops_buffer
+  in
+  let loadgen_rng = Rng.create (cfg.Config.seed + 1) in
+  let mean_gap =
+    float_of_int Clock.cycles_per_sec /. (offered_krps *. 1000.)
+  in
+  Proc.spawn sim (fun () ->
+      for i = 1 to requests do
+        Proc.wait
+          (int_of_float (Rng.exponential loadgen_rng ~mean:mean_gap));
+        if i = warmup + 1 then begin
+          window_start := Sim.now sim;
+          fetch_snapshot := Link.bytes_carried (System.rdma_rx_link system);
+          drops_at_start := drops ()
+        end;
+        let spec = app.App.gen loadgen_rng in
+        let req = Request.make ~id:i ~spec ~tx_at:(Sim.now sim) in
+        Raw_eth.send to_compute ~bytes:spec.Request.req_bytes req
+      done);
+  let horizon = Clock.of_sec max_seconds in
+  let finished () = !replies + drops () >= requests in
+  while (not (finished ())) && Sim.now sim < horizon && Sim.step sim do
+    ()
+  done;
+  Adios_mem.Reclaimer.stop (System.reclaimer system);
+  let window = max 1 (Sim.now sim - !window_start) in
+  let window_sec = Clock.to_sec window in
+  let recorded_drops = drops () - !drops_at_start in
+  let offered_window =
+    float_of_int (requests - warmup) /. window_sec /. 1000.
+  in
+  let fetched_bytes =
+    Link.bytes_carried (System.rdma_rx_link system) - !fetch_snapshot
+  in
+  let rdma_util =
+    float_of_int fetched_bytes
+    *. (1. +. Params.wire_overhead)
+    *. 8.
+    /. (Params.link_gbps *. 1e9 *. window_sec)
+  in
+  let kind_summaries =
+    Array.to_list
+      (Array.mapi
+         (fun i h -> (app.App.kinds.(i), Summary.of_histogram h))
+         kind_hists)
+  in
+  {
+    system = Config.system_name cfg.Config.system;
+    app = app.App.name;
+    offered_krps = offered_window;
+    achieved_krps = float_of_int !recorded /. window_sec /. 1000.;
+    drop_fraction =
+      float_of_int recorded_drops /. float_of_int (max 1 (requests - warmup));
+    e2e = Summary.of_histogram e2e_hist;
+    kind_summaries;
+    e2e_hist;
+    breakdown;
+    rdma_util;
+    faults = counters.System.faults;
+    coalesced = counters.System.coalesced;
+    evictions = Adios_mem.Reclaimer.evictions (System.reclaimer system);
+    preemptions = counters.System.preemptions;
+    qp_stalls = counters.System.qp_stalls;
+    frame_stalls = counters.System.frame_stalls;
+    prefetches =
+      (let ps = System.prefetch_stats system in
+       ( ps.Adios_mem.Prefetcher.issued,
+         ps.Adios_mem.Prefetcher.useful,
+         ps.Adios_mem.Prefetcher.wasted ));
+    completed = !replies;
+    dropped = drops ();
+    buffer_hwm =
+      Adios_unithread.Buffer_pool.high_watermark (System.buffers system);
+  }

@@ -1,0 +1,46 @@
+(** Experiment runner: open-loop Poisson load generator wired to a
+    {!System} instance, with warmup, measurement window and result
+    extraction. This is the mutilate-like generator of section 4: it
+    emulates many clients, stamps hardware TX/RX timestamps, and never
+    throttles on outstanding requests (so overload turns into drops,
+    exactly as in Figs. 2(d)/7(d)). *)
+
+type result = {
+  system : string;
+  app : string;
+  offered_krps : float;  (** offered load over the measurement window *)
+  achieved_krps : float;  (** completed replies over the window *)
+  drop_fraction : float;  (** dropped / offered within the window *)
+  e2e : Adios_stats.Summary.t;  (** end-to-end latency, all kinds *)
+  kind_summaries : (string * Adios_stats.Summary.t) list;
+      (** per-opcode-class summaries (e.g. GET vs SCAN) *)
+  e2e_hist : Adios_stats.Histogram.t;  (** full distribution, for CDFs *)
+  breakdown : Adios_stats.Breakdown.t;  (** per-request decompositions *)
+  rdma_util : float;
+      (** fetch-direction wire-byte utilization in [0,1] (Figs. 2e/7e) *)
+  faults : int;
+  coalesced : int;
+  evictions : int;
+  preemptions : int;
+  qp_stalls : int;
+  frame_stalls : int;
+  prefetches : int * int * int;  (** issued, useful, wasted *)
+  completed : int;
+  dropped : int;
+  buffer_hwm : int;  (** peak unithread buffers in use *)
+}
+
+val run :
+  Config.t ->
+  App.t ->
+  offered_krps:float ->
+  requests:int ->
+  ?warmup:int ->
+  ?max_seconds:float ->
+  unit ->
+  result
+(** [run cfg app ~offered_krps ~requests ()] builds a fresh simulated
+    testbed, injects [requests] Poisson arrivals at the offered rate and
+    returns measurements over the post-warmup window. [warmup] (default
+    [requests/10]) initial requests are excluded from every statistic.
+    [max_seconds] (default 30 simulated seconds) bounds runaway runs. *)

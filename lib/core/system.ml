@@ -1,0 +1,742 @@
+module Sim = Adios_engine.Sim
+module Proc = Adios_engine.Proc
+module Rng = Adios_engine.Rng
+module Verbs = Adios_rdma.Verbs
+module Nic = Adios_rdma.Nic
+module Link = Adios_rdma.Link
+module Raw_eth = Adios_rdma.Raw_eth
+module Memnode = Adios_rdma.Memnode
+module Pager = Adios_mem.Pager
+module Reclaimer = Adios_mem.Reclaimer
+module Arena = Adios_mem.Arena
+module View = Adios_mem.View
+module Task = Adios_unithread.Task
+module Buffer_pool = Adios_unithread.Buffer_pool
+module Integrator = Adios_stats.Integrator
+module Prefetcher = Adios_mem.Prefetcher
+
+type counters = {
+  mutable admitted : int;
+  mutable drops_queue : int;
+  mutable drops_buffer : int;
+  mutable handled : int;
+  mutable faults : int;
+  mutable coalesced : int;
+  mutable qp_stalls : int;
+  mutable preemptions : int;
+  mutable writeback_stalls : int;
+  mutable frame_stalls : int;
+}
+
+type entry = {
+  req : Request.t;
+  mutable task : Task.t option;
+  detector : Prefetcher.Stride_detector.t;
+  mutable worker : worker option;  (** worker whose QP serves its faults *)
+  mutable quantum_start : int;
+  mutable preempted : bool;
+  mutable enqueued_at : int;
+  mutable bw_integral_at_enqueue : int;
+  mutable ready_at : int;
+}
+
+and worker = {
+  wid : int;
+  qp : (unit -> unit) Nic.qp;
+  fetch_cq : (unit -> unit) Verbs.Cq.t;
+  gate : Proc.Gate.t;
+  ready : entry Queue.t;
+  local : entry Queue.t; (* per-worker queue (partitioned / stealing) *)
+  mutable assigned : entry option;
+  mutable idle : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  cfg : Config.t;
+  app : App.t;
+  arena : Arena.t;
+  pager : Pager.t;
+  memnode : Memnode.t;
+  nic : (unit -> unit) Nic.t;
+  reclaim_qp : (unit -> unit) Nic.qp;
+  reclaim_cq : (unit -> unit) Verbs.Cq.t;
+  reply_channel : Request.t Raw_eth.t;
+  reply_link : Link.t;
+  rdma_rx_link : Link.t;
+  rdma_tx_link : Link.t;
+  workers : worker array;
+  pending : entry Queue.t;
+  dispatch_gate : Proc.Gate.t;
+  recycle : int Queue.t;
+  buffers : Buffer_pool.t;
+  busy_waiters : Integrator.t;
+  prefetched : Bytes.t; (* per-page flag: resident due to a prefetch *)
+  prefetch_stats : Prefetcher.stats;
+  mutable rr_cursor : int;
+  rng : Rng.t;
+  mutable reclaimer : Reclaimer.t option;
+  counters : counters;
+}
+
+let counters t = t.counters
+let pager t = t.pager
+
+let reclaimer t =
+  match t.reclaimer with Some r -> r | None -> assert false
+
+let buffers t = t.buffers
+let rdma_rx_link t = t.rdma_rx_link
+let rdma_tx_link t = t.rdma_tx_link
+let reply_link t = t.reply_link
+let memnode t = t.memnode
+let arena t = t.arena
+let worker_outstanding t = Array.map (fun w -> Nic.outstanding w.qp) t.workers
+let prefetch_stats t = t.prefetch_stats
+
+let is_busywait cfg =
+  match cfg.Config.system with
+  | Config.Dilos | Config.Dilos_p | Config.Hermit -> true
+  | Config.Adios -> false
+
+(* Drain a CQ, executing the per-completion callbacks immediately: a
+   spinning poller sees its CQE the moment it arrives; yield-mode
+   callbacks only enqueue the unithread, the worker switches back later. *)
+let attach_drain cq =
+  let drain () =
+    List.iter
+      (fun (c : (unit -> unit) Verbs.completion) -> c.user ())
+      (Verbs.Cq.poll cq ~max:max_int)
+  in
+  Verbs.Cq.set_notify cq drain
+
+(* --- page-fault handling ------------------------------------------------ *)
+
+(* Ensure a frame is available, stalling on memory pressure. *)
+let wait_frame t =
+  (match t.reclaimer with Some r -> Reclaimer.trigger r | None -> ());
+  if Pager.free_frames t.pager <= 0 then begin
+    t.counters.frame_stalls <- t.counters.frame_stalls + 1;
+    Proc.suspend (fun resume -> Pager.wait_frame t.pager resume)
+  end
+
+let charge_pf e cycles =
+  e.req.Request.comps.pf_sw <- e.req.Request.comps.pf_sw + cycles;
+  Proc.wait cycles
+
+(* Busy-wait until [page]'s in-flight fetch completes. *)
+let spin_on_inflight t e page =
+  let comps = e.req.Request.comps in
+  let start = Sim.now t.sim in
+  Integrator.add t.busy_waiters 1;
+  Proc.suspend (fun resume -> Pager.add_waiter t.pager page resume);
+  Integrator.add t.busy_waiters (-1);
+  comps.rdma <- comps.rdma + (Sim.now t.sim - start)
+
+(* Yield until [page]'s in-flight fetch completes; the completion pushes
+   us on our worker's ready queue and the worker switches back. *)
+let yield_on_inflight t e page =
+  let comps = e.req.Request.comps in
+  let start = Sim.now t.sim in
+  let w = match e.worker with Some w -> w | None -> assert false in
+  Pager.add_waiter t.pager page (fun () ->
+      e.ready_at <- Sim.now t.sim;
+      Queue.push e w.ready;
+      Proc.Gate.signal w.gate);
+  Task.suspend ();
+  comps.rdma <- comps.rdma + (e.ready_at - start)
+
+(* Issue stride prefetches next to a demand fetch: detect the request's
+   fault stride and pull the predicted pages without anyone waiting on
+   them. Prefetches never take the last free frame or the last QP slots,
+   so they cannot starve demand fetches. *)
+let maybe_prefetch t e (w : worker) page =
+  match t.cfg.Config.prefetch with
+  | Config.No_prefetch -> ()
+  | Config.Stride degree -> (
+    match Prefetcher.Stride_detector.record e.detector page with
+    | None -> ()
+    | Some stride ->
+      let page_bytes = t.app.App.page_size in
+      let pages = t.app.App.pages in
+      let issued = ref 0 in
+      let k = ref 1 in
+      while !issued < degree && !k <= degree do
+        let q = page + (!k * stride) in
+        incr k;
+        if
+          q >= 0 && q < pages
+          && Pager.state t.pager q = Pager.Remote
+          && Pager.free_frames t.pager > 1
+          && Nic.outstanding w.qp < t.cfg.Config.qp_depth - 2
+        then begin
+          Pager.start_fetch t.pager q;
+          Memnode.record_read t.memnode ~bytes:page_bytes;
+          let ok =
+            Nic.post w.qp ~opcode:Verbs.Read ~bytes:page_bytes ~cq:w.fetch_cq
+              ~user:(fun () ->
+                Pager.complete_fetch t.pager q;
+                List.iter (fun f -> f ()) (Pager.take_waiters t.pager q))
+          in
+          if ok then begin
+            incr issued;
+            Bytes.set t.prefetched q '\001';
+            t.prefetch_stats.Prefetcher.issued <-
+              t.prefetch_stats.Prefetcher.issued + 1
+          end
+          else begin
+            (* roll the reservation back; the QP filled under us *)
+            Pager.complete_fetch t.pager q;
+            ignore (Pager.evict t.pager q)
+          end
+        end
+      done;
+      if !issued > 0 then charge_pf e (60 * !issued))
+
+(* Bring one page to Present, handling every interleaving: the fault
+   path blocks at several points (software cost, frame wait, QP wait),
+   and meanwhile another unithread may fetch or evict the same page, so
+   each blocking step is followed by a state re-check. *)
+let rec ensure_present t e page =
+  match Pager.state t.pager page with
+  | Pager.Present ->
+    if Bytes.get t.prefetched page = '\001' then begin
+      Bytes.set t.prefetched page '\000';
+      t.prefetch_stats.Prefetcher.useful <-
+        t.prefetch_stats.Prefetcher.useful + 1
+    end;
+    if Params.hit_touch_cycles > 0 then Proc.wait Params.hit_touch_cycles
+  | Pager.Inflight ->
+    t.counters.coalesced <- t.counters.coalesced + 1;
+    if is_busywait t.cfg then spin_on_inflight t e page
+    else yield_on_inflight t e page;
+    ensure_present t e page
+  | Pager.Remote -> fault t e page
+
+(* Handle a fault on a Remote page under the configured policy. *)
+and fault t e page =
+  let comps = e.req.Request.comps in
+  t.counters.faults <- t.counters.faults + 1;
+  let sw =
+    Params.fault_sw_cycles
+    +
+    match t.cfg.Config.system with
+    | Config.Hermit -> Params.hermit_fault_extra_cycles
+    | Config.Dilos | Config.Dilos_p | Config.Adios -> 0
+  in
+  charge_pf e sw;
+  let w = match e.worker with Some w -> w | None -> assert false in
+  (* acquire a frame and a QP slot; re-examine the page after each
+     blocking wait since the world moves while we sleep *)
+  let rec prepare () =
+    if Pager.state t.pager page <> Pager.Remote then `Changed
+    else if Pager.free_frames t.pager <= 0 then begin
+      wait_frame t;
+      prepare ()
+    end
+    else if Nic.outstanding w.qp >= t.cfg.Config.qp_depth then begin
+      t.counters.qp_stalls <- t.counters.qp_stalls + 1;
+      Proc.wait 200;
+      prepare ()
+    end
+    else `Go
+  in
+  match prepare () with
+  | `Changed -> ensure_present t e page
+  | `Go ->
+    Pager.start_fetch t.pager page;
+    let page_bytes = t.app.App.page_size in
+    Memnode.record_read t.memnode ~bytes:page_bytes;
+    maybe_prefetch t e w page;
+    if is_busywait t.cfg then begin
+      let start = Sim.now t.sim in
+      Integrator.add t.busy_waiters 1;
+      Proc.suspend (fun resume ->
+          let ok =
+            Nic.post w.qp ~opcode:Verbs.Read ~bytes:page_bytes ~cq:w.fetch_cq
+              ~user:(fun () ->
+                Pager.complete_fetch t.pager page;
+                List.iter (fun f -> f ()) (Pager.take_waiters t.pager page);
+                resume ())
+          in
+          if not ok then failwith "fault: QP full after prepare");
+      Integrator.add t.busy_waiters (-1);
+      comps.rdma <- comps.rdma + (Sim.now t.sim - start)
+    end
+    else begin
+      (* Adios: issue and yield (Fig. 5 steps 4-5, 8-10). *)
+      let start = Sim.now t.sim in
+      let ok =
+        Nic.post w.qp ~opcode:Verbs.Read ~bytes:page_bytes ~cq:w.fetch_cq
+          ~user:(fun () ->
+            Pager.complete_fetch t.pager page;
+            List.iter (fun f -> f ()) (Pager.take_waiters t.pager page);
+            e.ready_at <- Sim.now t.sim;
+            Queue.push e w.ready;
+            Proc.Gate.signal w.gate)
+      in
+      if not ok then failwith "fault: QP full after prepare";
+      Task.suspend ();
+      comps.rdma <- comps.rdma + (e.ready_at - start)
+    end;
+    (* map the fetched page and return (Fig. 5 step 10) *)
+    charge_pf e Params.map_page_cycles
+
+(* Touch every page of [addr, addr+len); hit, coalesce or fault. *)
+let touch_range t e ~addr ~len ~write =
+  let page_size = t.app.App.page_size in
+  let first = addr / page_size
+  and last = (addr + len - 1) / page_size in
+  for page = first to last do
+    ensure_present t e page;
+    Pager.touch t.pager page;
+    if write then Pager.mark_dirty t.pager page
+  done
+
+(* --- application context ------------------------------------------------ *)
+
+let make_ctx t e =
+  let comps = e.req.Request.comps in
+  let compute cycles =
+    comps.compute <- comps.compute + cycles;
+    Proc.wait cycles
+  in
+  let checkpoint () =
+    match t.cfg.Config.system with
+    | Config.Dilos_p ->
+      compute Params.preempt_probe_cycles;
+      if
+        Sim.now t.sim - e.quantum_start >= Params.preempt_interval_cycles
+      then begin
+        t.counters.preemptions <- t.counters.preemptions + 1;
+        compute Params.preempt_fire_cycles;
+        e.preempted <- true;
+        Task.suspend ()
+      end
+    | Config.Dilos | Config.Adios | Config.Hermit -> ()
+  in
+  let view =
+    View.make t.arena ~touch:(fun ~addr ~len ~write ->
+        touch_range t e ~addr ~len ~write)
+  in
+  { App.view; compute; checkpoint; rng = t.rng }
+
+(* --- reply transmission -------------------------------------------------- *)
+
+let send_reply t e =
+  let comps = e.req.Request.comps in
+  let reply_bytes = e.req.Request.spec.Request.reply_bytes in
+  Proc.wait Params.reply_post_cycles;
+  comps.compute <- comps.compute + Params.reply_post_cycles;
+  let buffer = e.req.Request.buffer in
+  match t.cfg.Config.tx_mode with
+  | Config.Tx_delegated ->
+    (* Fig. 6: the TX completion is raised on the dispatcher's CQ; the
+       dispatcher recycles the buffer while the worker moves on. *)
+    Raw_eth.send t.reply_channel ~bytes:reply_bytes
+      ~on_tx_complete:(fun () ->
+        Sim.schedule t.sim ~delay:Params.tx_cqe_latency_cycles (fun () ->
+            Queue.push buffer t.recycle;
+            Proc.Gate.signal t.dispatch_gate))
+      e.req
+  | Config.Tx_sync_spin ->
+    (* naive design: the worker busy-waits for the CQE *)
+    let start = Sim.now t.sim in
+    Integrator.add t.busy_waiters 1;
+    Proc.suspend (fun resume ->
+        Raw_eth.send t.reply_channel ~bytes:reply_bytes
+          ~on_tx_complete:(fun () ->
+            Sim.schedule t.sim ~delay:Params.tx_cqe_latency_cycles resume)
+          e.req);
+    Integrator.add t.busy_waiters (-1);
+    comps.tx <- comps.tx + (Sim.now t.sim - start);
+    Buffer_pool.free t.buffers buffer
+  | Config.Tx_deferred ->
+    (* run-to-completion baselines reap TX completions lazily, off the
+       worker's critical path *)
+    Raw_eth.send t.reply_channel ~bytes:reply_bytes
+      ~on_tx_complete:(fun () ->
+        Sim.schedule t.sim ~delay:Params.tx_cqe_latency_cycles (fun () ->
+            Buffer_pool.free t.buffers buffer))
+      e.req
+
+(* --- worker -------------------------------------------------------------- *)
+
+let requeue t e =
+  e.enqueued_at <- Sim.now t.sim;
+  e.bw_integral_at_enqueue <- Integrator.integral t.busy_waiters;
+  Queue.push e t.pending;
+  Proc.Gate.signal t.dispatch_gate
+
+let step_task t e task =
+  match Task.run task with
+  | Task.Finished ->
+    t.counters.handled <- t.counters.handled + 1;
+    send_reply t e
+  | Task.Suspended ->
+    if e.preempted then begin
+      e.preempted <- false;
+      requeue t e
+    end
+(* else: fault yield; the fetch completion re-enqueues the entry *)
+
+let charge_compute e cycles =
+  e.req.Request.comps.compute <- e.req.Request.comps.compute + cycles;
+  Proc.wait cycles
+
+let run_entry t w e =
+  e.worker <- Some w;
+  match e.task with
+  | Some task ->
+    (* preempted unithread re-dispatched: switch back in *)
+    charge_compute e Params.ctx_switch_cycles;
+    e.quantum_start <- Sim.now t.sim;
+    step_task t e task
+  | None ->
+    charge_compute e
+      (Params.unithread_create_cycles + Params.ctx_switch_cycles);
+    (match t.cfg.Config.system with
+    | Config.Hermit ->
+      charge_compute e Params.hermit_request_extra_cycles;
+      if Rng.uniform t.rng < Params.hermit_jitter_probability then begin
+        let span =
+          Params.hermit_jitter_max_cycles - Params.hermit_jitter_min_cycles
+        in
+        charge_compute e (Params.hermit_jitter_min_cycles + Rng.int t.rng span)
+      end
+    | Config.Dilos | Config.Dilos_p | Config.Adios -> ());
+    e.quantum_start <- Sim.now t.sim;
+    let ctx = make_ctx t e in
+    let task = Task.create (fun () -> t.app.App.handle ctx e.req.Request.spec) in
+    e.task <- Some task;
+    step_task t e task
+
+let resume_ready t (_w : worker) e =
+  let comps = e.req.Request.comps in
+  Proc.wait (Params.poll_cycles + Params.ctx_switch_cycles);
+  comps.ready_wait <- comps.ready_wait + (Sim.now t.sim - e.ready_at);
+  comps.pf_sw <- comps.pf_sw + Params.ctx_switch_cycles;
+  match e.task with
+  | Some task -> step_task t e task
+  | None -> assert false
+
+(* close the request's queueing interval: from admission (or requeue)
+   to the moment a worker takes it *)
+let account_dequeue t e =
+  let comps = e.req.Request.comps in
+  let now = Sim.now t.sim in
+  e.req.Request.dispatched_at <- now;
+  comps.queue <- comps.queue + (now - e.enqueued_at);
+  let bw_share =
+    (Integrator.integral t.busy_waiters - e.bw_integral_at_enqueue)
+    / max 1 (Array.length t.workers)
+  in
+  comps.queue_busywait <- comps.queue_busywait + bw_share
+
+(* Work stealing: take the head of the longest sibling queue (FCFS
+   order within the victim); the scan itself costs cycles. *)
+let try_steal t (w : worker) =
+  let victim = ref None and best = ref 0 in
+  Array.iter
+    (fun v ->
+      let len = Queue.length v.local in
+      if v.wid <> w.wid && len > !best then begin
+        victim := Some v;
+        best := len
+      end)
+    t.workers;
+  match !victim with
+  | Some v ->
+    Proc.wait Params.steal_cycles;
+    Queue.take_opt v.local
+  | None -> None
+
+let rec worker_loop t (w : worker) =
+  if not (Queue.is_empty w.ready) then begin
+    w.idle <- false;
+    let e = Queue.pop w.ready in
+    resume_ready t w e;
+    worker_loop t w
+  end
+  else
+    match w.assigned with
+    | Some e ->
+      w.idle <- false;
+      w.assigned <- None;
+      run_entry t w e;
+      worker_loop t w
+    | None -> (
+      match Queue.take_opt w.local with
+      | Some e ->
+        w.idle <- false;
+        account_dequeue t e;
+        run_entry t w e;
+        worker_loop t w
+      | None -> (
+        let stolen =
+          if t.cfg.Config.dispatch = Config.Work_stealing then try_steal t w
+          else None
+        in
+        match stolen with
+        | Some e ->
+          w.idle <- false;
+          account_dequeue t e;
+          run_entry t w e;
+          worker_loop t w
+        | None ->
+          w.idle <- true;
+          Proc.Gate.signal t.dispatch_gate;
+          Proc.Gate.await w.gate;
+          worker_loop t w))
+
+(* --- dispatcher ---------------------------------------------------------- *)
+
+(* Algorithm 1: idle workers ordered by outstanding page-fetch count;
+   round-robin baseline rotates from the cursor instead. *)
+let dispatch_order t =
+  let idle =
+    Array.to_list t.workers |> List.filter (fun w -> w.idle && w.assigned = None)
+  in
+  match t.cfg.Config.dispatch with
+  | Config.Pf_aware ->
+    List.stable_sort
+      (fun a b -> compare (Nic.outstanding a.qp) (Nic.outstanding b.qp))
+      idle
+  | Config.Round_robin ->
+    let n = Array.length t.workers in
+    List.stable_sort
+      (fun a b ->
+        compare ((a.wid - t.rr_cursor + n) mod n) ((b.wid - t.rr_cursor + n) mod n))
+      idle
+  | Config.Partitioned | Config.Work_stealing ->
+    (* these policies never consult the idle order *)
+    idle
+
+let assign t (w : worker) e =
+  account_dequeue t e;
+  t.rr_cursor <- (w.wid + 1) mod Array.length t.workers;
+  w.assigned <- Some e;
+  w.idle <- false;
+  Proc.Gate.signal w.gate
+
+let rec dispatcher_loop t =
+  Proc.Gate.await t.dispatch_gate;
+  (* recycle delegated TX completions first: batched, cheap *)
+  while not (Queue.is_empty t.recycle) do
+    let buffer = Queue.pop t.recycle in
+    Proc.wait Params.recycle_cycles;
+    Buffer_pool.free t.buffers buffer
+  done;
+  (match t.cfg.Config.dispatch with
+  | Config.Pf_aware | Config.Round_robin ->
+    (* single queue: dispatch to idle workers (Algorithm 1 or RR) *)
+    let progress = ref true in
+    while !progress && not (Queue.is_empty t.pending) do
+      match dispatch_order t with
+      | [] -> progress := false
+      | order ->
+        List.iter
+          (fun w ->
+            if (not (Queue.is_empty t.pending)) && w.idle && w.assigned = None
+            then begin
+              let e = Queue.pop t.pending in
+              Proc.wait Params.dispatch_cycles;
+              assign t w e
+            end)
+          order
+    done
+  | Config.Partitioned | Config.Work_stealing ->
+    (* d-FCFS: spray arrivals over per-worker queues with no regard for
+       their occupancy; rebalancing, if any, is the workers' problem *)
+    while not (Queue.is_empty t.pending) do
+      let e = Queue.pop t.pending in
+      Proc.wait Params.dispatch_cycles;
+      let w = t.workers.(t.rr_cursor) in
+      t.rr_cursor <- (t.rr_cursor + 1) mod Array.length t.workers;
+      Queue.push e w.local;
+      Proc.Gate.signal w.gate;
+      if t.cfg.Config.dispatch = Config.Work_stealing then
+        (* idle siblings may steal this: wake them *)
+        Array.iter
+          (fun s -> if s.idle && s.wid <> w.wid then Proc.Gate.signal s.gate)
+          t.workers
+    done);
+  dispatcher_loop t
+
+(* --- admission ----------------------------------------------------------- *)
+
+let receive t ~rx_at req =
+  req.Request.rx_at <- rx_at;
+  if Queue.length t.pending >= t.cfg.Config.central_queue_capacity then
+    t.counters.drops_queue <- t.counters.drops_queue + 1
+  else
+    match Buffer_pool.alloc t.buffers with
+    | None -> t.counters.drops_buffer <- t.counters.drops_buffer + 1
+    | Some buffer ->
+      req.Request.buffer <- buffer;
+      t.counters.admitted <- t.counters.admitted + 1;
+      let e =
+        {
+          req;
+          task = None;
+          detector = Prefetcher.Stride_detector.create ();
+          worker = None;
+          quantum_start = 0;
+          preempted = false;
+          enqueued_at = Sim.now t.sim;
+          bw_integral_at_enqueue = Integrator.integral t.busy_waiters;
+          ready_at = 0;
+        }
+      in
+      Queue.push e t.pending;
+      Proc.Gate.signal t.dispatch_gate
+
+(* --- construction -------------------------------------------------------- *)
+
+let prefill_pages t =
+  (* Warm the cache to its steady-state occupancy: resident up to the
+     reclaimer's high watermark of free frames, pages chosen uniformly. *)
+  let pages = t.app.App.pages in
+  let capacity = Pager.capacity t.pager in
+  let high = t.cfg.Config.reclaim_config.Reclaimer.high_watermark in
+  let target =
+    if capacity >= pages then pages (* whole working set fits: map it all *)
+    else capacity - int_of_float (ceil (high *. float_of_int capacity))
+  in
+  let target = max 0 (min target capacity) in
+  if target >= pages then
+    Pager.prefill t.pager (List.init pages (fun i -> i))
+  else begin
+    let chosen = Hashtbl.create (2 * target) in
+    let picked = ref 0 in
+    while !picked < target do
+      let p = Rng.int t.rng pages in
+      if not (Hashtbl.mem chosen p) then begin
+        Hashtbl.add chosen p ();
+        incr picked
+      end
+    done;
+    Pager.prefill t.pager (Hashtbl.fold (fun p () acc -> p :: acc) chosen [])
+  end
+
+let evict_page t ~page ~dirty =
+  if Bytes.get t.prefetched page = '\001' then begin
+    Bytes.set t.prefetched page '\000';
+    t.prefetch_stats.Prefetcher.wasted <- t.prefetch_stats.Prefetcher.wasted + 1
+  end;
+  if dirty then begin
+    (* write the page back to the memory node before dropping it *)
+    let bytes = t.app.App.page_size in
+    Memnode.record_write t.memnode ~bytes;
+    let rec try_post () =
+      let ok =
+        Nic.post t.reclaim_qp ~opcode:Verbs.Write ~bytes ~cq:t.reclaim_cq
+          ~user:(fun () -> ())
+      in
+      if not ok then begin
+        t.counters.writeback_stalls <- t.counters.writeback_stalls + 1;
+        Proc.wait 200;
+        try_post ()
+      end
+    in
+    try_post ()
+  end
+
+let create sim cfg app ~on_reply =
+  let arena = Arena.create ~pages:app.App.pages ~page_size:app.App.page_size in
+  app.App.build (View.direct arena);
+  let capacity =
+    max 2 (int_of_float (cfg.Config.local_ratio *. float_of_int app.App.pages))
+  in
+  let capacity = min capacity app.App.pages in
+  let pager = Pager.create ~pages:app.App.pages ~capacity in
+  let memnode =
+    Memnode.create ~capacity_bytes:(2 * app.App.pages * app.App.page_size)
+  in
+  ignore (Memnode.register memnode ~bytes:(app.App.pages * app.App.page_size));
+  let rdma_rx_link = Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead () in
+  let rdma_tx_link = Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead () in
+  let reply_link = Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead () in
+  let nic =
+    Nic.create sim ~rx_link:rdma_rx_link ~tx_link:rdma_tx_link
+      ~wqe_overhead_cycles:Params.wqe_overhead_cycles
+      ~base_latency_cycles:Params.rdma_base_latency_cycles ()
+  in
+  let reply_channel =
+    Raw_eth.create sim ~link:reply_link
+      ~latency_cycles:Params.eth_latency_cycles
+      ~deliver:(fun ~rx_at req ->
+        req.Request.done_at <- rx_at;
+        on_reply req)
+  in
+  let rng = Rng.create cfg.Config.seed in
+  let workers =
+    Array.init cfg.Config.workers (fun wid ->
+        let qp = Nic.create_qp nic ~depth:cfg.Config.qp_depth in
+        let fetch_cq = Verbs.Cq.create () in
+        attach_drain fetch_cq;
+        {
+          wid;
+          qp;
+          fetch_cq;
+          gate = Proc.Gate.create sim;
+          ready = Queue.create ();
+          local = Queue.create ();
+          assigned = None;
+          idle = false;
+        })
+  in
+  let reclaim_qp = Nic.create_qp nic ~depth:cfg.Config.qp_depth in
+  let reclaim_cq = Verbs.Cq.create () in
+  attach_drain reclaim_cq;
+  let t =
+    {
+      sim;
+      cfg;
+      app;
+      arena;
+      pager;
+      memnode;
+      nic;
+      reclaim_qp;
+      reclaim_cq;
+      reply_channel;
+      reply_link;
+      rdma_rx_link;
+      rdma_tx_link;
+      workers;
+      pending = Queue.create ();
+      dispatch_gate = Proc.Gate.create sim;
+      recycle = Queue.create ();
+      buffers = Buffer_pool.create ~count:cfg.Config.buffer_count
+          Buffer_pool.unithread_layout;
+      busy_waiters = Integrator.create sim;
+      prefetched = Bytes.make app.App.pages '\000';
+      prefetch_stats = Prefetcher.make_stats ();
+      rr_cursor = 0;
+      rng;
+      reclaimer = None;
+      counters =
+        {
+          admitted = 0;
+          drops_queue = 0;
+          drops_buffer = 0;
+          handled = 0;
+          faults = 0;
+          coalesced = 0;
+          qp_stalls = 0;
+          preemptions = 0;
+          writeback_stalls = 0;
+          frame_stalls = 0;
+        };
+    }
+  in
+  prefill_pages t;
+  let reclaimer =
+    Reclaimer.start sim pager cfg.Config.reclaim cfg.Config.reclaim_config
+      ~evict_page:(fun ~page ~dirty -> evict_page t ~page ~dirty)
+  in
+  t.reclaimer <- Some reclaimer;
+  Proc.spawn sim (fun () -> dispatcher_loop t);
+  Array.iter (fun w -> Proc.spawn sim (fun () -> worker_loop t w)) workers;
+  t

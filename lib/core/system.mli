@@ -1,0 +1,75 @@
+(** The simulated compute node: dispatcher, workers, page-fault handling
+    and reply transmission, configurable as any of the four systems under
+    test (Adios / DiLOS / DiLOS-P / Hermit).
+
+    Datapath (Figs. 1, 3, 5): client packets arrive through
+    {!receive}, are admitted into the bounded single queue, dispatched to
+    idle workers (Algorithm 1 or round-robin), and served inside
+    unithreads whose paged memory accesses fault through the configured
+    policy:
+
+    - [Adios]: the fault posts a one-sided READ and the unithread yields;
+      the worker resumes it when the completion is polled. Reply TX
+      completions are delegated to the dispatcher's queue.
+    - [Dilos]: the fault busy-waits on the completion; the reply TX is
+      also synchronous.
+    - [Dilos_p]: like [Dilos] plus 5 us cooperative preemption at the
+      application's checkpoint probes.
+    - [Hermit]: like [Dilos] plus kernel-path costs and kernel jitter. *)
+
+type t
+
+type counters = {
+  mutable admitted : int;
+  mutable drops_queue : int;  (** central queue full *)
+  mutable drops_buffer : int;  (** buffer pool exhausted *)
+  mutable handled : int;  (** request handlers run to completion *)
+  mutable faults : int;  (** page faults taken (fetches issued) *)
+  mutable coalesced : int;  (** faults absorbed by an in-flight fetch *)
+  mutable qp_stalls : int;  (** fault handler pauses on a full QP *)
+  mutable preemptions : int;  (** DiLOS-P quantum expirations *)
+  mutable writeback_stalls : int;  (** reclaimer pauses on a full QP *)
+  mutable frame_stalls : int;
+      (** faults that found no free frame and had to wait for the
+          reclaimer — the out-of-memory stalls section 3.3 eliminates *)
+}
+
+val create :
+  Adios_engine.Sim.t ->
+  Config.t ->
+  App.t ->
+  on_reply:(Request.t -> unit) ->
+  t
+(** Build the node: arena (populated via the app's [build]), pager warmed
+    to steady state, NICs and links, buffer pool, reclaimer, dispatcher
+    and worker processes. [on_reply] fires at the load generator when a
+    reply packet lands (its hardware RX timestamp is [Request.done_at]). *)
+
+val receive : t -> rx_at:int -> Request.t -> unit
+(** Deliver a client request packet (wired to the inbound raw-Ethernet
+    channel by the runner). *)
+
+val counters : t -> counters
+val pager : t -> Adios_mem.Pager.t
+val reclaimer : t -> Adios_mem.Reclaimer.t
+val buffers : t -> Adios_unithread.Buffer_pool.t
+
+val rdma_rx_link : t -> Adios_rdma.Link.t
+(** Memory-node-to-compute link carrying page fetches (the utilization
+    plotted in Figs. 2(e)/7(e)). *)
+
+val rdma_tx_link : t -> Adios_rdma.Link.t
+(** Compute-to-memory-node link carrying write-backs. *)
+
+val reply_link : t -> Adios_rdma.Link.t
+(** Compute-to-client link carrying replies. *)
+
+val memnode : t -> Adios_rdma.Memnode.t
+val arena : t -> Adios_mem.Arena.t
+
+val worker_outstanding : t -> int array
+(** Per-worker outstanding page fetches (Algorithm 1's signal),
+    exposed for tests. *)
+
+val prefetch_stats : t -> Adios_mem.Prefetcher.stats
+(** Prefetch engine accounting (issued / useful / wasted). *)

@@ -1,0 +1,26 @@
+(** Binary min-heap keyed by [(time, sequence)].
+
+    The sequence number breaks ties so that events scheduled for the same
+    instant fire in insertion order, which keeps the simulation
+    deterministic (FIFO semantics for zero-delay wakeups). *)
+
+type 'a t
+(** Heap of payloads ordered by ascending key. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val length : 'a t -> int
+(** Number of stored entries. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+(** [push h ~time ~seq v] inserts [v] with key [(time, seq)]. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** [pop h] removes and returns the minimum entry, or [None] if empty. *)
+
+val peek_time : 'a t -> int option
+(** [peek_time h] is the key time of the minimum entry without removal. *)

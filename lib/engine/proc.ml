@@ -1,0 +1,81 @@
+type _ Effect.t +=
+  | Wait : Clock.cycles -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let wait dt = Effect.perform (Wait dt)
+let yield () = wait 0
+let suspend register = Effect.perform (Suspend register)
+
+let spawn sim body =
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Wait dt ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                Sim.schedule sim ~delay:dt (fun () -> continue k ()))
+          | Suspend register ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                let resumed = ref false in
+                let resume () =
+                  if !resumed then failwith "Proc.suspend: double resume";
+                  resumed := true;
+                  Sim.schedule sim ~delay:0 (fun () -> continue k ())
+                in
+                register resume)
+          | _ -> None);
+    }
+  in
+  Sim.schedule sim ~delay:0 (fun () -> match_with body () handler)
+
+module Gate = struct
+  type t = {
+    sim : Sim.t;
+    mutable pending : bool;
+    mutable waiter : (unit -> unit) option;
+  }
+
+  let create sim = { sim; pending = false; waiter = None }
+
+  let await t =
+    ignore t.sim;
+    if t.pending then t.pending <- false
+    else begin
+      if t.waiter <> None then failwith "Gate.await: already has a waiter";
+      suspend (fun resume -> t.waiter <- Some resume)
+    end
+
+  let signal t =
+    match t.waiter with
+    | Some resume ->
+      t.waiter <- None;
+      resume ()
+    | None -> t.pending <- true
+end
+
+module Mailbox = struct
+  type 'a t = { queue : 'a Queue.t; gate : Gate.t }
+
+  let create sim = { queue = Queue.create (); gate = Gate.create sim }
+
+  let send t v =
+    Queue.push v t.queue;
+    Gate.signal t.gate
+
+  let try_recv t = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+
+  let rec recv t =
+    match try_recv t with
+    | Some v -> v
+    | None ->
+      Gate.await t.gate;
+      recv t
+
+  let length t = Queue.length t.queue
+end

@@ -1,0 +1,43 @@
+type t = {
+  mutable now : Clock.cycles;
+  mutable seq : int;
+  mutable processed : int;
+  heap : (unit -> unit) Heap.t;
+}
+
+let create () = { now = 0; seq = 0; processed = 0; heap = Heap.create () }
+
+let now sim = sim.now
+
+let schedule_at sim t f =
+  let t = if t < sim.now then sim.now else t in
+  sim.seq <- sim.seq + 1;
+  Heap.push sim.heap ~time:t ~seq:sim.seq f
+
+let schedule sim ~delay f =
+  let delay = if delay < 0 then 0 else delay in
+  schedule_at sim (sim.now + delay) f
+
+let step sim =
+  match Heap.pop sim.heap with
+  | None -> false
+  | Some (t, _, f) ->
+    sim.now <- t;
+    sim.processed <- sim.processed + 1;
+    f ();
+    true
+
+let run sim = while step sim do () done
+
+let run_until sim limit =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_time sim.heap with
+    | Some t when t <= limit -> ignore (step sim)
+    | Some _ | None ->
+      continue := false;
+      if sim.now < limit then sim.now <- limit
+  done
+
+let pending sim = Heap.length sim.heap
+let events_processed sim = sim.processed

@@ -1,0 +1,38 @@
+(** Discrete-event simulation core.
+
+    The simulator owns a virtual clock (in {!Clock.cycles}) and a pending
+    event heap. Every state change in the modelled system happens inside an
+    event callback; callbacks may schedule further events but never block.
+    Cooperative "processes" that do block are layered on top in {!Proc}. *)
+
+type t
+(** A simulation instance. *)
+
+val create : unit -> t
+(** Fresh simulator with the clock at 0 and no pending events. *)
+
+val now : t -> Clock.cycles
+(** Current virtual time. *)
+
+val schedule : t -> delay:Clock.cycles -> (unit -> unit) -> unit
+(** [schedule sim ~delay f] runs [f] at [now sim + delay]. Negative delays
+    are clamped to zero. Events at equal times fire in scheduling order. *)
+
+val schedule_at : t -> Clock.cycles -> (unit -> unit) -> unit
+(** [schedule_at sim t f] runs [f] at absolute time [t] (clamped to now). *)
+
+val run : t -> unit
+(** Drain the event heap completely. *)
+
+val run_until : t -> Clock.cycles -> unit
+(** Process events with timestamp [<= limit]; afterwards [now] is [limit]
+    if any event horizon reached it, else the time of the last event. *)
+
+val step : t -> bool
+(** Process one event; [false] if the heap was empty. *)
+
+val pending : t -> int
+(** Number of events still queued. *)
+
+val events_processed : t -> int
+(** Total events executed so far (a determinism fingerprint for tests). *)

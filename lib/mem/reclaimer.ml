@@ -1,0 +1,99 @@
+module Proc = Adios_engine.Proc
+
+type mode = Proactive | Wakeup
+
+type config = {
+  period : Adios_engine.Clock.cycles;
+  low_watermark : float;
+  high_watermark : float;
+  per_page_cost : Adios_engine.Clock.cycles;
+  wakeup_delay : Adios_engine.Clock.cycles;
+}
+
+let default_config =
+  {
+    period = Adios_engine.Clock.of_us 2.;
+    low_watermark = 0.04;
+    high_watermark = 0.06;
+    per_page_cost = 150;
+    wakeup_delay = Adios_engine.Clock.of_us 3.;
+  }
+
+type t = {
+  sim : Adios_engine.Sim.t;
+  pager : Pager.t;
+  mode : mode;
+  config : config;
+  evict_page : page:int -> dirty:bool -> unit;
+  mutable evictions : int;
+  mutable running : bool; (* eviction loop active (wakeup mode) *)
+  mutable stopped : bool;
+}
+
+let free_fraction t =
+  float_of_int (Pager.free_frames t.pager)
+  /. float_of_int (Pager.capacity t.pager)
+
+(* when the whole working set fits in local DRAM there is nothing to
+   reclaim for: evicting would only manufacture faults *)
+let fits t = Pager.pages t.pager <= Pager.capacity t.pager
+
+let low t = (not (fits t)) && free_fraction t < t.config.low_watermark
+
+let below_high t =
+  (not (fits t)) && free_fraction t < t.config.high_watermark
+
+(* Evict until the high watermark is restored; runs in process context
+   and charges per-page CPU cost. *)
+let evict_until_high t =
+  let continue = ref true in
+  while !continue && below_high t do
+    match Pager.pick_victim t.pager with
+    | None -> continue := false
+    | Some page ->
+      Proc.wait t.config.per_page_cost;
+      (* Re-check: the page may have been evicted while we slept. *)
+      if Pager.state t.pager page = Pager.Present then begin
+        let dirty = Pager.evict t.pager page in
+        t.evictions <- t.evictions + 1;
+        t.evict_page ~page ~dirty
+      end
+  done
+
+let start sim pager mode config ~evict_page =
+  let t =
+    {
+      sim;
+      pager;
+      mode;
+      config;
+      evict_page;
+      evictions = 0;
+      running = false;
+      stopped = false;
+    }
+  in
+  (match mode with
+  | Proactive ->
+    Proc.spawn sim (fun () ->
+        while not t.stopped do
+          Proc.wait config.period;
+          if low t then evict_until_high t
+        done)
+  | Wakeup -> ());
+  t
+
+let trigger t =
+  match t.mode with
+  | Proactive -> ()
+  | Wakeup ->
+    if (not t.running) && not t.stopped then begin
+      t.running <- true;
+      Proc.spawn t.sim (fun () ->
+          Proc.wait t.config.wakeup_delay;
+          evict_until_high t;
+          t.running <- false)
+    end
+
+let evictions t = t.evictions
+let stop t = t.stopped <- true

@@ -1,0 +1,43 @@
+(** Page reclamation policies (section 3.3).
+
+    Adios runs a {e proactive} reclaimer: a pinned thread that polls the
+    free-frame level and evicts before the system reaches out-of-memory.
+    DiLOS-style systems use a {e wakeup} reclaimer that a fault handler
+    nudges under memory pressure and that only starts evicting after a
+    scheduling delay — the difference the A1 ablation measures. *)
+
+type mode =
+  | Proactive  (** pinned thread polling every [period] *)
+  | Wakeup  (** started on demand after [wakeup_delay] *)
+
+type config = {
+  period : Adios_engine.Clock.cycles;  (** proactive polling interval *)
+  low_watermark : float;  (** free fraction that triggers eviction (0.15) *)
+  high_watermark : float;  (** free fraction eviction restores *)
+  per_page_cost : Adios_engine.Clock.cycles;  (** CPU cycles per eviction *)
+  wakeup_delay : Adios_engine.Clock.cycles;  (** wakeup-mode scheduling delay *)
+}
+
+val default_config : config
+
+type t
+
+val start :
+  Adios_engine.Sim.t ->
+  Pager.t ->
+  mode ->
+  config ->
+  evict_page:(page:int -> dirty:bool -> unit) ->
+  t
+(** Launch the reclaimer. [evict_page] runs after each eviction so the
+    runtime can post the RDMA WRITE-back of dirty pages. *)
+
+val trigger : t -> unit
+(** Memory-pressure nudge from the fault path; no-op in proactive mode
+    (the pinned thread needs no wakeup — that is its point). *)
+
+val evictions : t -> int
+(** Pages evicted so far. *)
+
+val stop : t -> unit
+(** Terminate the reclaimer process (end of experiment). *)

@@ -1,0 +1,38 @@
+type t = {
+  sim : Adios_engine.Sim.t;
+  bytes_per_cycle : float;
+  wire_overhead : float;
+  busy : Adios_stats.Integrator.t;
+  mutable bytes : int;
+}
+
+let create sim ~gbps ?(wire_overhead = 0.27) () =
+  let bytes_per_sec = gbps *. 1e9 /. 8. in
+  let bytes_per_cycle =
+    bytes_per_sec /. float_of_int Adios_engine.Clock.cycles_per_sec
+  in
+  {
+    sim;
+    bytes_per_cycle;
+    wire_overhead;
+    busy = Adios_stats.Integrator.create sim;
+    bytes = 0;
+  }
+
+let serialize_cycles t ~bytes =
+  let wire = float_of_int bytes *. (1. +. t.wire_overhead) in
+  max 1 (int_of_float (ceil (wire /. t.bytes_per_cycle)))
+
+let occupy t ~cycles ~bytes =
+  t.bytes <- t.bytes + bytes;
+  Adios_stats.Integrator.set t.busy 1;
+  Adios_engine.Sim.schedule t.sim ~delay:cycles (fun () ->
+      Adios_stats.Integrator.set t.busy 0)
+
+let snapshot t =
+  (Adios_stats.Integrator.integral t.busy, Adios_engine.Sim.now t.sim)
+
+let utilization_since t ~snapshot:(since_integral, since_time) =
+  Adios_stats.Integrator.mean_over t.busy ~since_integral ~since_time
+
+let bytes_carried t = t.bytes

@@ -1,0 +1,36 @@
+(** Point-to-point link bandwidth model.
+
+    Serialization time is [wire_bytes / rate] where [wire_bytes] adds a
+    configurable per-message overhead factor (RoCE/UDP/Ethernet headers
+    plus PCIe/DMA inefficiency) on top of the payload. Utilization is the
+    time-weighted fraction of cycles the link spent serializing, the
+    quantity plotted in Figs. 2(e) and 7(e). *)
+
+type t
+
+val create :
+  Adios_engine.Sim.t ->
+  gbps:float ->
+  ?wire_overhead:float ->
+  unit ->
+  t
+(** [create sim ~gbps ()] models a link of [gbps] gigabit/s.
+    [wire_overhead] (default 0.27) is the fraction of extra wire bytes
+    per message; the default is calibrated in DESIGN.md section 5. *)
+
+val serialize_cycles : t -> bytes:int -> int
+(** Cycles needed to put one message of [bytes] payload on the wire. *)
+
+val occupy : t -> cycles:int -> bytes:int -> unit
+(** Account [cycles] of busy time and [bytes] of payload carried. The
+    caller (the NIC engine) guarantees occupations do not overlap. *)
+
+val utilization_since : t -> snapshot:int * int -> float
+(** Busy fraction in [\[snapshot_time, now\]]; [snapshot] comes from
+    {!snapshot}. *)
+
+val snapshot : t -> int * int
+(** Opaque (busy-integral, time) pair for later {!utilization_since}. *)
+
+val bytes_carried : t -> int
+(** Total payload bytes since creation. *)

@@ -1,0 +1,46 @@
+type region = { base : int; bytes : int }
+
+type t = {
+  capacity : int;
+  mutable next_base : int;
+  mutable regions : region list;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_served : int;
+}
+
+let create ~capacity_bytes =
+  {
+    capacity = capacity_bytes;
+    next_base = 0;
+    regions = [];
+    reads = 0;
+    writes = 0;
+    bytes_served = 0;
+  }
+
+let register t ~bytes =
+  if t.next_base + bytes > t.capacity then
+    failwith "Memnode.register: capacity exhausted";
+  let r = { base = t.next_base; bytes } in
+  t.next_base <- t.next_base + bytes;
+  t.regions <- r :: t.regions;
+  r
+
+let validate t ~addr ~bytes =
+  List.exists
+    (fun r -> addr >= r.base && addr + bytes <= r.base + r.bytes)
+    t.regions
+
+let record_read t ~bytes =
+  t.reads <- t.reads + 1;
+  t.bytes_served <- t.bytes_served + bytes
+
+let record_write t ~bytes =
+  t.writes <- t.writes + 1;
+  t.bytes_served <- t.bytes_served + bytes
+
+let reads t = t.reads
+let writes t = t.writes
+let bytes_served t = t.bytes_served
+let registered_bytes t = t.next_base

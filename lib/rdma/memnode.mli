@@ -1,0 +1,35 @@
+(** Remote memory node.
+
+    Owns the registered memory regions that the compute node's one-sided
+    READs and WRITEs target, allocates remote page slots, and counts the
+    traffic it serves. The data plane (actual bytes) lives in the paged
+    arena ({!Adios_mem.Arena}); this module is the control plane the
+    verbs layer validates against. *)
+
+type t
+
+val create : capacity_bytes:int -> t
+(** Memory node exporting [capacity_bytes] of registered memory. *)
+
+type region = { base : int; bytes : int }
+(** A registered memory region in the node's address space. *)
+
+val register : t -> bytes:int -> region
+(** Carve a region out of the node's capacity.
+    @raise Failure if capacity is exhausted. *)
+
+val validate : t -> addr:int -> bytes:int -> bool
+(** [validate t ~addr ~bytes] checks the access falls inside some
+    registered region — a one-sided access with a bad rkey/address would
+    fault the QP on real hardware. *)
+
+val record_read : t -> bytes:int -> unit
+(** Account a served READ. *)
+
+val record_write : t -> bytes:int -> unit
+(** Account a served WRITE. *)
+
+val reads : t -> int
+val writes : t -> int
+val bytes_served : t -> int
+val registered_bytes : t -> int

@@ -1,0 +1,175 @@
+type 'a wr = {
+  wr_id : int;
+  qp_seq : int; (* per-QP posting order, for in-order completion *)
+  opcode : Verbs.opcode;
+  bytes : int;
+  posted_at : int;
+  user : 'a;
+  cq : 'a Verbs.Cq.t;
+}
+
+type 'a qp = {
+  qp_id : int;
+  depth : int;
+  fifo : 'a wr Queue.t;
+  mutable outstanding : int;
+  mutable next_seq : int; (* next posting sequence to hand out *)
+  mutable deliver_seq : int; (* next sequence allowed to complete *)
+  stalled : (int, unit -> unit) Hashtbl.t;
+      (* finished out of order, waiting for predecessors *)
+  nic : 'a t;
+}
+
+and direction = Rx | Tx
+
+and 'a engine = {
+  dir : direction;
+  link : Link.t;
+  mutable busy : bool;
+  mutable cursor : int;
+}
+
+and 'a t = {
+  sim : Adios_engine.Sim.t;
+  wqe_overhead : int;
+  base_latency : int;
+  mutable qps : 'a qp array;
+  rx : 'a engine;
+  tx : 'a engine;
+  mutable next_wr_id : int;
+  mutable posted : int;
+  mutable completed : int;
+  mutable read_bytes : int;
+}
+
+let create sim ~rx_link ~tx_link ~wqe_overhead_cycles ~base_latency_cycles () =
+  {
+    sim;
+    wqe_overhead = wqe_overhead_cycles;
+    base_latency = base_latency_cycles;
+    qps = [||];
+    rx = { dir = Rx; link = rx_link; busy = false; cursor = 0 };
+    tx = { dir = Tx; link = tx_link; busy = false; cursor = 0 };
+    next_wr_id = 0;
+    posted = 0;
+    completed = 0;
+    read_bytes = 0;
+  }
+
+let create_qp nic ~depth =
+  let qp =
+    {
+      qp_id = Array.length nic.qps;
+      depth;
+      fifo = Queue.create ();
+      outstanding = 0;
+      next_seq = 0;
+      deliver_seq = 0;
+      stalled = Hashtbl.create 16;
+      nic;
+    }
+  in
+  nic.qps <- Array.append nic.qps [| qp |];
+  qp
+
+let qp_id qp = qp.qp_id
+let outstanding qp = qp.outstanding
+
+let direction_of = function Verbs.Read -> Rx | Verbs.Write | Verbs.Send -> Tx
+
+(* Pick the next QP (round-robin from the engine cursor) whose head WR
+   travels in this engine's direction. *)
+let next_wr nic engine =
+  let n = Array.length nic.qps in
+  let rec scan i =
+    if i = n then None
+    else begin
+      let qp = nic.qps.((engine.cursor + i) mod n) in
+      match Queue.peek_opt qp.fifo with
+      | Some wr when direction_of wr.opcode = engine.dir ->
+        engine.cursor <- (engine.cursor + i + 1) mod n;
+        ignore (Queue.pop qp.fifo);
+        Some (qp, wr)
+      | Some _ | None -> scan (i + 1)
+    end
+  in
+  scan 0
+
+let rec kick nic engine =
+  if not engine.busy then begin
+    match next_wr nic engine with
+    | None -> ()
+    | Some (qp, wr) ->
+      engine.busy <- true;
+      let serialize = Link.serialize_cycles engine.link ~bytes:wr.bytes in
+      let service = nic.wqe_overhead + serialize in
+      Link.occupy engine.link ~cycles:service ~bytes:wr.bytes;
+      Adios_engine.Sim.schedule nic.sim ~delay:service (fun () ->
+          engine.busy <- false;
+          (* the pop may have exposed a head WR travelling the other
+             way: the sibling engine must look too *)
+          kick nic (match engine.dir with Rx -> nic.tx | Tx -> nic.rx);
+          (* completion after fabric + remote DMA; a QP's completions are
+             delivered in posting order, so a WR that finishes before a
+             predecessor parks until the predecessor lands *)
+          Adios_engine.Sim.schedule nic.sim ~delay:nic.base_latency (fun () ->
+              let deliver () =
+                qp.outstanding <- qp.outstanding - 1;
+                nic.completed <- nic.completed + 1;
+                if wr.opcode = Verbs.Read then
+                  nic.read_bytes <- nic.read_bytes + wr.bytes;
+                Verbs.Cq.push wr.cq
+                  {
+                    Verbs.wr_id = wr.wr_id;
+                    opcode = wr.opcode;
+                    bytes = wr.bytes;
+                    posted_at = wr.posted_at;
+                    completed_at = Adios_engine.Sim.now nic.sim;
+                    user = wr.user;
+                  }
+              in
+              if wr.qp_seq = qp.deliver_seq then begin
+                deliver ();
+                qp.deliver_seq <- qp.deliver_seq + 1;
+                let rec drain () =
+                  match Hashtbl.find_opt qp.stalled qp.deliver_seq with
+                  | Some f ->
+                    Hashtbl.remove qp.stalled qp.deliver_seq;
+                    f ();
+                    qp.deliver_seq <- qp.deliver_seq + 1;
+                    drain ()
+                  | None -> ()
+                in
+                drain ()
+              end
+              else Hashtbl.replace qp.stalled wr.qp_seq deliver);
+          kick nic engine)
+  end
+
+let post qp ~opcode ~bytes ~user ~cq =
+  let nic = qp.nic in
+  if qp.outstanding >= qp.depth then false
+  else begin
+    nic.next_wr_id <- nic.next_wr_id + 1;
+    nic.posted <- nic.posted + 1;
+    qp.outstanding <- qp.outstanding + 1;
+    let qp_seq = qp.next_seq in
+    qp.next_seq <- qp.next_seq + 1;
+    Queue.push
+      {
+        wr_id = nic.next_wr_id;
+        qp_seq;
+        opcode;
+        bytes;
+        posted_at = Adios_engine.Sim.now nic.sim;
+        user;
+        cq;
+      }
+      qp.fifo;
+    kick nic (match direction_of opcode with Rx -> nic.rx | Tx -> nic.tx);
+    true
+  end
+
+let posted nic = nic.posted
+let completed nic = nic.completed
+let read_bytes nic = nic.read_bytes

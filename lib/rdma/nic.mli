@@ -1,0 +1,56 @@
+(** RDMA NIC engine.
+
+    The NIC owns a set of queue pairs and two serialization engines, one
+    per direction: READs consume the inbound (memory-node-to-compute)
+    link, WRITEs and SENDs the outbound one. Each engine round-robins
+    across QPs whose head work request needs it — the per-QP in-order /
+    across-QP fair arbitration that makes RDMA queue lengths matter and
+    gives the PF-aware dispatcher (Algorithm 1) its signal.
+
+    Completion of a WR is delivered [base_latency] cycles after its
+    serialization finishes (fabric propagation + remote DMA), onto the CQ
+    chosen at post time. *)
+
+type 'a t
+type 'a qp
+
+val create :
+  Adios_engine.Sim.t ->
+  rx_link:Link.t ->
+  tx_link:Link.t ->
+  wqe_overhead_cycles:int ->
+  base_latency_cycles:int ->
+  unit ->
+  'a t
+(** NIC over the two directed links. [wqe_overhead_cycles] is the
+    per-work-request engine cost (doorbell + WQE fetch + DMA setup);
+    [base_latency_cycles] the wire-to-completion delay. *)
+
+val create_qp : 'a t -> depth:int -> 'a qp
+(** New QP accepting at most [depth] outstanding work requests. *)
+
+val qp_id : 'a qp -> int
+(** Stable identifier (creation order). *)
+
+val outstanding : 'a qp -> int
+(** Work requests posted but not yet completed — the congestion signal
+    read by PF-aware dispatching. *)
+
+val post :
+  'a qp ->
+  opcode:Verbs.opcode ->
+  bytes:int ->
+  user:'a ->
+  cq:'a Verbs.Cq.t ->
+  bool
+(** Post a work request; [false] if the QP is at [depth] (caller must
+    back off, as Adios' dispatcher does when the NIC saturates). *)
+
+val posted : 'a t -> int
+(** Total WRs accepted since creation. *)
+
+val completed : 'a t -> int
+(** Total completions delivered since creation. *)
+
+val read_bytes : 'a t -> int
+(** Payload bytes fetched with READ work requests. *)

@@ -1,0 +1,30 @@
+(** Raw-Ethernet packet channel (NVIDIA OFED Raw Ethernet feature).
+
+    A unidirectional kernel-bypass packet path: the sender posts packets
+    that serialize in FIFO order on the channel's link and are delivered
+    to the receiver's handler [latency] cycles later, carrying the NIC
+    hardware RX timestamp (simply the delivery time here). The TX
+    completion fires when serialization ends and can be routed anywhere —
+    the hook polling delegation uses to raise reply completions on the
+    dispatcher's CQ instead of the worker's. *)
+
+type 'p t
+
+val create :
+  Adios_engine.Sim.t ->
+  link:Link.t ->
+  latency_cycles:int ->
+  deliver:(rx_at:int -> 'p -> unit) ->
+  'p t
+(** Channel delivering ['p] packets to [deliver]. *)
+
+val send :
+  'p t -> bytes:int -> ?on_tx_complete:(unit -> unit) -> 'p -> unit
+(** Queue a packet of [bytes] payload. [on_tx_complete] models the TX
+    CQE and fires when the packet has left the NIC. *)
+
+val queued : 'p t -> int
+(** Packets waiting for the wire (TX queue depth). *)
+
+val sent : 'p t -> int
+(** Total packets delivered to the wire. *)

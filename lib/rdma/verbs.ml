@@ -1,0 +1,38 @@
+type opcode = Read | Write | Send
+
+let pp_opcode ppf = function
+  | Read -> Format.pp_print_string ppf "READ"
+  | Write -> Format.pp_print_string ppf "WRITE"
+  | Send -> Format.pp_print_string ppf "SEND"
+
+type 'a completion = {
+  wr_id : int;
+  opcode : opcode;
+  bytes : int;
+  posted_at : int;
+  completed_at : int;
+  user : 'a;
+}
+
+module Cq = struct
+  type 'a t = {
+    queue : 'a completion Queue.t;
+    mutable notify : (unit -> unit) option;
+  }
+
+  let create () = { queue = Queue.create (); notify = None }
+  let set_notify t f = t.notify <- Some f
+
+  let push t c =
+    Queue.push c t.queue;
+    match t.notify with None -> () | Some f -> f ()
+
+  let poll t ~max =
+    let rec go acc n =
+      if n = 0 || Queue.is_empty t.queue then List.rev acc
+      else go (Queue.pop t.queue :: acc) (n - 1)
+    in
+    go [] max
+
+  let depth t = Queue.length t.queue
+end

@@ -1,0 +1,81 @@
+type components = {
+  mutable queue : int;
+  mutable queue_busywait : int;
+  mutable compute : int;
+  mutable pf_sw : int;
+  mutable rdma : int;
+  mutable busy_wait : int;
+  mutable ready_wait : int;
+  mutable tx : int;
+}
+
+let make () =
+  {
+    queue = 0;
+    queue_busywait = 0;
+    compute = 0;
+    pf_sw = 0;
+    rdma = 0;
+    busy_wait = 0;
+    ready_wait = 0;
+    tx = 0;
+  }
+
+let total c =
+  c.queue + c.compute + c.pf_sw + c.rdma + c.busy_wait + c.ready_wait + c.tx
+
+type t = { mutable entries : components array; mutable len : int }
+
+let create () = { entries = [||]; len = 0 }
+
+let record t c =
+  let cap = Array.length t.entries in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 1024 else cap * 2 in
+    let narr = Array.make ncap c in
+    Array.blit t.entries 0 narr 0 t.len;
+    t.entries <- narr
+  end;
+  t.entries.(t.len) <- c;
+  t.len <- t.len + 1
+
+let count t = t.len
+
+let at_percentile t p =
+  if t.len = 0 then None
+  else begin
+    let sorted = Array.sub t.entries 0 t.len in
+    Array.sort (fun a b -> compare (total a) (total b)) sorted;
+    let n = t.len in
+    let rank = int_of_float (p /. 100. *. float_of_int (n - 1)) in
+    let window = max 1 (n / 400) in
+    let lo = max 0 (rank - window) and hi = min (n - 1) (rank + window) in
+    let acc = make () in
+    for i = lo to hi do
+      let c = sorted.(i) in
+      acc.queue <- acc.queue + c.queue;
+      acc.queue_busywait <- acc.queue_busywait + c.queue_busywait;
+      acc.compute <- acc.compute + c.compute;
+      acc.pf_sw <- acc.pf_sw + c.pf_sw;
+      acc.rdma <- acc.rdma + c.rdma;
+      acc.busy_wait <- acc.busy_wait + c.busy_wait;
+      acc.ready_wait <- acc.ready_wait + c.ready_wait;
+      acc.tx <- acc.tx + c.tx
+    done;
+    let m = hi - lo + 1 in
+    acc.queue <- acc.queue / m;
+    acc.queue_busywait <- acc.queue_busywait / m;
+    acc.compute <- acc.compute / m;
+    acc.pf_sw <- acc.pf_sw / m;
+    acc.rdma <- acc.rdma / m;
+    acc.busy_wait <- acc.busy_wait / m;
+    acc.ready_wait <- acc.ready_wait / m;
+    acc.tx <- acc.tx / m;
+    Some acc
+  end
+
+let pp_components ppf c =
+  Format.fprintf ppf
+    "queue=%d (busywait-share=%d) compute=%d pf_sw=%d rdma=%d busy_wait=%d ready_wait=%d tx=%d total=%d"
+    c.queue c.queue_busywait c.compute c.pf_sw c.rdma c.busy_wait
+    c.ready_wait c.tx (total c)

@@ -1,0 +1,47 @@
+(** Per-request latency decomposition, reproducing Figs. 2(c) and 7(c).
+
+    Each completed request carries the cycles it spent in every stage of
+    the compute node; the recorder keeps them all and can report the
+    average decomposition of the requests that sit near a given
+    percentile of total latency. *)
+
+type components = {
+  mutable queue : int;
+      (** central-queue wait from arrival to dispatch (incl. dispatch cost) *)
+  mutable queue_busywait : int;
+      (** portion of [queue] during which workers were busy-waiting on
+          fetches — the slashed area of Fig. 2(c) *)
+  mutable compute : int;  (** application CPU time *)
+  mutable pf_sw : int;    (** software page-fault path incl. context switches *)
+  mutable rdma : int;     (** remote fetch: QP queueing + wire + fabric *)
+  mutable busy_wait : int;(** worker cycles spent spinning on this request's fetches *)
+  mutable ready_wait : int;
+      (** yielded-and-ready time waiting for the worker to switch back (Adios) *)
+  mutable tx : int;       (** reply transmission wait on the worker *)
+}
+
+val make : unit -> components
+(** All-zero components record. *)
+
+val total : components -> int
+(** Sum of every stage except [queue_busywait] (which is a subset of
+    [queue]). This is the compute-node-internal latency. *)
+
+type t
+(** Recorder accumulating component records. *)
+
+val create : unit -> t
+(** Empty recorder. *)
+
+val record : t -> components -> unit
+(** Add one completed request's decomposition. *)
+
+val count : t -> int
+(** Number of recorded requests. *)
+
+val at_percentile : t -> float -> components option
+(** [at_percentile t p] averages the component records in a +-0.25%
+    rank window around percentile [p] of total latency. [None] if empty. *)
+
+val pp_components : Format.formatter -> components -> unit
+(** Render a decomposition with cycle counts per stage. *)

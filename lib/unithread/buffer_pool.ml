@@ -1,0 +1,79 @@
+type layout = {
+  name : string;
+  mtu : int;
+  ctx_bytes : int;
+  stack_bytes : int;
+  extra_stacks : int;
+  stack_unit : int;
+}
+
+let unithread_layout =
+  {
+    name = "unithread (universal stack)";
+    mtu = 1500;
+    ctx_bytes = 80;
+    stack_bytes = 4096 - 1500 - 80;
+    extra_stacks = 0;
+    stack_unit = 0;
+  }
+
+let shinjuku_layout =
+  {
+    name = "shinjuku (ucontext + 2 stacks)";
+    mtu = 1500;
+    ctx_bytes = 968;
+    stack_bytes = 4096 - 1500 - 968;
+    extra_stacks = 2;
+    stack_unit = 4096;
+  }
+
+let bytes_per_buffer l =
+  let base = l.mtu + l.ctx_bytes + l.stack_bytes in
+  (* round the primary buffer to 4 KB as both systems allocate pages *)
+  let round_4k v = (v + 4095) / 4096 * 4096 in
+  round_4k base + (l.extra_stacks * l.stack_unit)
+
+type t = {
+  layout : layout;
+  count : int;
+  free_list : int Stack.t;
+  allocated : Bytes.t; (* 0 free / 1 in use *)
+  mutable in_use : int;
+  mutable high_watermark : int;
+}
+
+let create ?(count = 131_072) layout =
+  let free_list = Stack.create () in
+  for i = count - 1 downto 0 do
+    Stack.push i free_list
+  done;
+  {
+    layout;
+    count;
+    free_list;
+    allocated = Bytes.make count '\000';
+    in_use = 0;
+    high_watermark = 0;
+  }
+
+let alloc t =
+  match Stack.pop_opt t.free_list with
+  | None -> None
+  | Some id ->
+    Bytes.set t.allocated id '\001';
+    t.in_use <- t.in_use + 1;
+    if t.in_use > t.high_watermark then t.high_watermark <- t.in_use;
+    Some id
+
+let free t id =
+  if id < 0 || id >= t.count then invalid_arg "Buffer_pool.free: bad id";
+  if Bytes.get t.allocated id = '\000' then
+    invalid_arg "Buffer_pool.free: double free";
+  Bytes.set t.allocated id '\000';
+  t.in_use <- t.in_use - 1;
+  Stack.push id t.free_list
+
+let count t = t.count
+let in_use t = t.in_use
+let high_watermark t = t.high_watermark
+let total_bytes t = t.count * bytes_per_buffer t.layout

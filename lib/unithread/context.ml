@@ -1,0 +1,50 @@
+type kind = Unithread | Ucontext
+
+let context_bytes = function Unithread -> 80 | Ucontext -> 968
+let switch_cycles = function Unithread -> 40 | Ucontext -> 191
+
+let pp_kind ppf = function
+  | Unithread -> Format.pp_print_string ppf "Adios' unithread"
+  | Ucontext -> Format.pp_print_string ppf "Shinjuku's ucontext_t"
+
+type _ Effect.t += Ping : unit Effect.t
+
+let make_pingpong kind =
+  let state_bytes = context_bytes kind in
+  let saved = Bytes.make state_bytes '\000' in
+  let live = Bytes.make state_bytes '\000' in
+  let copy_state () =
+    (* ucontext must dump and reload the full register file; the
+       unithread's 80 bytes model the six saved registers. *)
+    Bytes.blit live 0 saved 0 state_bytes;
+    Bytes.blit saved 0 live 0 state_bytes
+  in
+  let k : (unit, unit) Effect.Deep.continuation option ref = ref None in
+  let handler =
+    let open Effect.Deep in
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Ping ->
+            Some
+              (fun (kont : (b, unit) continuation) ->
+                copy_state ();
+                k := Some (kont : (unit, unit) continuation))
+          | _ -> None);
+    }
+  in
+  let body () =
+    while true do
+      Effect.perform Ping
+    done
+  in
+  fun () ->
+    match !k with
+    | None -> Effect.Deep.match_with body () handler
+    | Some kont ->
+      k := None;
+      copy_state ();
+      Effect.Deep.continue kont ()

@@ -1,0 +1,27 @@
+(** Context-switch cost model and real microbenchmark (Table 1).
+
+    The simulation charges switch costs from this model: a unithread
+    context is 80 bytes (one argument register + rbp/rip/rsp/mxcsr/fpucw;
+    callee-saved per the SysV ABI stay in the caller's frame) and
+    switches in 40 cycles; Shinjuku's ucontext_t is 968 bytes (full
+    register file incl. FP state) and switches in 191 cycles.
+
+    For the Bechamel benchmark the module also builds {e real} coroutine
+    ping-pongs: the unithread variant is a bare effect capture/resume,
+    the ucontext variant additionally saves and restores a 968-byte
+    state buffer each way, mirroring what swapcontext must copy. *)
+
+type kind = Unithread | Ucontext
+
+val context_bytes : kind -> int
+(** Saved-state size (80 / 968 bytes, Table 1). *)
+
+val switch_cycles : kind -> int
+(** Modelled one-way switch cost (40 / 191 cycles, Table 1). *)
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val make_pingpong : kind -> unit -> unit
+(** [make_pingpong kind] returns a thunk; each call performs one full
+    switch into a coroutine and back (capture + resume), with the
+    state-copy burden of [kind]. Used by the Table 1 microbenchmark. *)

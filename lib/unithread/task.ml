@@ -1,0 +1,61 @@
+type outcome = Finished | Suspended
+
+type _ Effect.t += Suspend : unit Effect.t
+
+type status = Fresh | Running | Stored | Done
+
+type t = {
+  body : unit -> unit;
+  mutable status : status;
+  mutable k : (unit, outcome) Effect.Deep.continuation option;
+  mutable suspensions : int;
+}
+
+let create body = { body; status = Fresh; k = None; suspensions = 0 }
+
+let suspend () = Effect.perform Suspend
+
+let handler t =
+  let open Effect.Deep in
+  {
+    retc =
+      (fun () ->
+        t.status <- Done;
+        Finished);
+    exnc = raise;
+    effc =
+      (fun (type b) (eff : b Effect.t) ->
+        match eff with
+        | Suspend ->
+          Some
+            (fun (k : (b, outcome) continuation) ->
+              t.k <- Some k;
+              t.status <- Stored;
+              t.suspensions <- t.suspensions + 1;
+              Suspended)
+        | _ -> None);
+  }
+
+let run t =
+  match t.status with
+  | Running -> invalid_arg "Task.run: already running"
+  | Done -> invalid_arg "Task.run: already finished"
+  | Fresh ->
+    t.status <- Running;
+    Effect.Deep.match_with t.body () (handler t)
+  | Stored -> (
+    match t.k with
+    | None -> assert false
+    | Some k ->
+      t.k <- None;
+      t.status <- Running;
+      Effect.Deep.continue k ())
+
+let state t =
+  match t.status with
+  | Fresh -> `Fresh
+  | Running -> `Running
+  | Stored -> `Suspended
+  | Done -> `Finished
+
+let suspensions t = t.suspensions

@@ -1,0 +1,351 @@
+module Heap = Adios_engine.Heap
+module Clock = Adios_engine.Clock
+module Sim = Adios_engine.Sim
+module Proc = Adios_engine.Proc
+module Rng = Adios_engine.Rng
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* --- heap ------------------------------------------------------------- *)
+
+let test_heap_basic () =
+  let h = Heap.create () in
+  check_bool "empty" true (Heap.is_empty h);
+  Heap.push h ~time:5 ~seq:1 "a";
+  Heap.push h ~time:3 ~seq:2 "b";
+  Heap.push h ~time:7 ~seq:3 "c";
+  check_int "len" 3 (Heap.length h);
+  check (Alcotest.option Alcotest.int) "peek" (Some 3) (Heap.peek_time h);
+  let pop () =
+    match Heap.pop h with Some (t, _, v) -> (t, v) | None -> (-1, "!")
+  in
+  check (Alcotest.pair Alcotest.int Alcotest.string) "min" (3, "b") (pop ());
+  check (Alcotest.pair Alcotest.int Alcotest.string) "next" (5, "a") (pop ());
+  check (Alcotest.pair Alcotest.int Alcotest.string) "last" (7, "c") (pop ());
+  check_bool "drained" true (Heap.pop h = None)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun i -> Heap.push h ~time:9 ~seq:i i) [ 1; 2; 3; 4; 5 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, _, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.int) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list (pair small_nat small_nat))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri (fun i (t, v) -> Heap.push h ~time:t ~seq:i v) entries;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (t, _, _) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      let times = drain [] in
+      List.sort compare times = times)
+
+(* --- clock ------------------------------------------------------------ *)
+
+let test_clock () =
+  check_int "1us" 2000 (Clock.of_us 1.);
+  check_int "1ns=2cy" 2 (Clock.of_ns 1.);
+  check_int "1s" Clock.cycles_per_sec (Clock.of_sec 1.);
+  check (Alcotest.float 1e-9) "roundtrip" 12.5 (Clock.to_us (Clock.of_us 12.5));
+  check (Alcotest.float 1e-9) "ns" 500. (Clock.to_ns (Clock.of_us 0.5))
+
+(* --- sim -------------------------------------------------------------- *)
+
+let test_sim_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:10 (fun () -> log := "b" :: !log);
+  Sim.schedule sim ~delay:5 (fun () -> log := "a" :: !log);
+  Sim.schedule sim ~delay:10 (fun () -> log := "c" :: !log);
+  Sim.run sim;
+  check (Alcotest.list Alcotest.string) "order" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  check_int "clock" 10 (Sim.now sim);
+  check_int "processed" 3 (Sim.events_processed sim)
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  Sim.schedule sim ~delay:100 (fun () -> incr fired);
+  Sim.schedule sim ~delay:200 (fun () -> incr fired);
+  Sim.run_until sim 150;
+  check_int "one fired" 1 !fired;
+  check_int "clock at limit" 150 (Sim.now sim);
+  check_int "pending" 1 (Sim.pending sim);
+  Sim.run sim;
+  check_int "both fired" 2 !fired
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let result = ref 0 in
+  Sim.schedule sim ~delay:5 (fun () ->
+      Sim.schedule sim ~delay:5 (fun () -> result := Sim.now sim));
+  Sim.run sim;
+  check_int "nested time" 10 !result
+
+let test_sim_negative_delay_clamped () =
+  let sim = Sim.create () in
+  let at = ref (-1) in
+  Sim.schedule sim ~delay:20 (fun () ->
+      Sim.schedule sim ~delay:(-50) (fun () -> at := Sim.now sim));
+  Sim.run sim;
+  check_int "clamped to now" 20 !at
+
+(* --- proc ------------------------------------------------------------- *)
+
+let test_proc_wait () =
+  let sim = Sim.create () in
+  let trace = ref [] in
+  Proc.spawn sim (fun () ->
+      trace := ("p1", Sim.now sim) :: !trace;
+      Proc.wait 100;
+      trace := ("p1", Sim.now sim) :: !trace);
+  Proc.spawn sim (fun () ->
+      Proc.wait 50;
+      trace := ("p2", Sim.now sim) :: !trace);
+  Sim.run sim;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "interleaving"
+    [ ("p1", 0); ("p2", 50); ("p1", 100) ]
+    (List.rev !trace)
+
+let test_proc_suspend_resume () =
+  let sim = Sim.create () in
+  let resumer = ref None in
+  let stages = ref [] in
+  Proc.spawn sim (fun () ->
+      stages := "before" :: !stages;
+      Proc.suspend (fun resume -> resumer := Some resume);
+      stages := "after" :: !stages);
+  Sim.schedule sim ~delay:500 (fun () ->
+      match !resumer with Some r -> r () | None -> Alcotest.fail "no resumer");
+  Sim.run sim;
+  check (Alcotest.list Alcotest.string) "stages" [ "before"; "after" ]
+    (List.rev !stages);
+  check_int "resumed at" 500 (Sim.now sim)
+
+let test_proc_double_resume_rejected () =
+  let sim = Sim.create () in
+  let resumer = ref None in
+  Proc.spawn sim (fun () ->
+      Proc.suspend (fun resume -> resumer := Some resume));
+  Sim.run sim;
+  (match !resumer with Some r -> r () | None -> Alcotest.fail "no resumer");
+  Sim.run sim;
+  match !resumer with
+  | Some r ->
+    Alcotest.check_raises "double resume"
+      (Failure "Proc.suspend: double resume") (fun () -> r ())
+  | None -> Alcotest.fail "no resumer"
+
+let test_gate () =
+  let sim = Sim.create () in
+  let woke = ref (-1) in
+  let gate = Proc.Gate.create sim in
+  Proc.spawn sim (fun () ->
+      Proc.Gate.await gate;
+      woke := Sim.now sim);
+  Sim.schedule sim ~delay:70 (fun () -> Proc.Gate.signal gate);
+  Sim.run sim;
+  check_int "woken" 70 !woke
+
+let test_gate_no_lost_wakeup () =
+  let sim = Sim.create () in
+  let gate = Proc.Gate.create sim in
+  (* signal before any await: the gate must remember it *)
+  Proc.Gate.signal gate;
+  Proc.Gate.signal gate;
+  let woke = ref false in
+  Proc.spawn sim (fun () ->
+      Proc.Gate.await gate;
+      woke := true);
+  Sim.run sim;
+  check_bool "pending signal consumed" true !woke;
+  (* the two signals coalesced: a second await must block *)
+  let woke2 = ref false in
+  Proc.spawn sim (fun () ->
+      Proc.Gate.await gate;
+      woke2 := true);
+  Sim.run sim;
+  check_bool "coalesced" false !woke2
+
+let test_mailbox () =
+  let sim = Sim.create () in
+  let mb = Proc.Mailbox.create sim in
+  let got = ref [] in
+  Proc.spawn sim (fun () ->
+      for _ = 1 to 3 do
+        got := Proc.Mailbox.recv mb :: !got
+      done);
+  Sim.schedule sim ~delay:10 (fun () -> Proc.Mailbox.send mb 1);
+  Sim.schedule sim ~delay:20 (fun () ->
+      Proc.Mailbox.send mb 2;
+      Proc.Mailbox.send mb 3);
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "fifo" [ 1; 2; 3 ] (List.rev !got);
+  check_int "empty" 0 (Proc.Mailbox.length mb)
+
+(* --- rng -------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 1234 and b = Rng.create 1234 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done
+
+let test_rng_bounds () =
+  let g = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int g 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_uniform_mean () =
+  let g = Rng.create 99 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.uniform g
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_rng_exponential_mean () =
+  let g = Rng.create 3 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential g ~mean:42.
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean near 42" true (abs_float (mean -. 42.) < 1.5)
+
+let test_rng_discrete () =
+  let g = Rng.create 5 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30_000 do
+    let i = Rng.discrete g [| 1.; 2.; 7. |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_bool "weights respected" true
+    (counts.(2) > counts.(1) && counts.(1) > counts.(0));
+  let frac2 = float_of_int counts.(2) /. 30_000. in
+  check_bool "p(2) near 0.7" true (abs_float (frac2 -. 0.7) < 0.02)
+
+let test_zipf () =
+  let g = Rng.create 17 in
+  let z = Rng.Zipf.create ~n:1000 ~theta:0.99 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 50_000 do
+    let v = Rng.Zipf.sample g z in
+    check_bool "in range" true (v >= 0 && v < 1000);
+    counts.(v) <- counts.(v) + 1
+  done;
+  check_bool "rank 0 most popular" true
+    (counts.(0) > counts.(10) && counts.(10) > counts.(500))
+
+let test_zipf_theta_zero_uniform () =
+  let g = Rng.create 23 in
+  let z = Rng.Zipf.create ~n:100 ~theta:0. in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    counts.(Rng.Zipf.sample g z) <- counts.(Rng.Zipf.sample g z) + 1
+  done;
+  let mx = Array.fold_left max 0 counts and mn = Array.fold_left min max_int counts in
+  check_bool "roughly uniform" true (float_of_int mx /. float_of_int mn < 2.)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"rng int respects bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, n) ->
+      let g = Rng.create seed in
+      let v = Rng.int g n in
+      v >= 0 && v < n)
+
+let prop_run_until_split_equivalent =
+  (* running to t1 then t2 is the same as running straight to t2 *)
+  QCheck.Test.make ~name:"run_until splits are equivalent" ~count:100
+    QCheck.(pair (list (int_range 0 1000)) (pair (int_range 0 500) (int_range 500 1200)))
+    (fun (delays, (t1, t2)) ->
+      let run_with split =
+        let sim = Sim.create () in
+        let fired = ref [] in
+        List.iter
+          (fun d -> Sim.schedule sim ~delay:d (fun () -> fired := d :: !fired))
+          delays;
+        if split then Sim.run_until sim t1;
+        Sim.run_until sim t2;
+        (List.rev !fired, Sim.now sim)
+      in
+      run_with true = run_with false)
+
+let test_split_diverges () =
+  let g = Rng.create 1 in
+  let g2 = Rng.split g in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.bits64 g = Rng.bits64 g2 then incr same
+  done;
+  check_bool "streams differ" true (!same < 5)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          q prop_heap_sorted;
+        ] );
+      ("clock", [ Alcotest.test_case "conversions" `Quick test_clock ]);
+      ( "sim",
+        [
+          Alcotest.test_case "event order" `Quick test_sim_order;
+          Alcotest.test_case "run_until" `Quick test_sim_run_until;
+          Alcotest.test_case "nested schedule" `Quick test_sim_nested_schedule;
+          Alcotest.test_case "negative delay" `Quick
+            test_sim_negative_delay_clamped;
+        ] );
+      ( "proc",
+        [
+          Alcotest.test_case "wait interleaving" `Quick test_proc_wait;
+          Alcotest.test_case "suspend/resume" `Quick test_proc_suspend_resume;
+          Alcotest.test_case "double resume" `Quick
+            test_proc_double_resume_rejected;
+          Alcotest.test_case "gate" `Quick test_gate;
+          Alcotest.test_case "gate no lost wakeup" `Quick
+            test_gate_no_lost_wakeup;
+          Alcotest.test_case "mailbox" `Quick test_mailbox;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "exponential mean" `Quick
+            test_rng_exponential_mean;
+          Alcotest.test_case "discrete" `Quick test_rng_discrete;
+          Alcotest.test_case "zipf" `Quick test_zipf;
+          Alcotest.test_case "zipf theta=0" `Quick
+            test_zipf_theta_zero_uniform;
+          Alcotest.test_case "split diverges" `Quick test_split_diverges;
+          q prop_rng_int_bounds;
+        ] );
+      ("properties", [ q prop_run_until_split_equivalent ]);
+    ]

@@ -1,0 +1,146 @@
+(* Stride prefetcher: detector unit/property tests plus end-to-end
+   behaviour through the full system. *)
+
+module Sd = Adios_mem.Prefetcher.Stride_detector
+module Config = Adios_core.Config
+module Runner = Adios_core.Runner
+module App = Adios_core.App
+module Request = Adios_core.Request
+module Rng = Adios_engine.Rng
+module View = Adios_mem.View
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
+
+let feed d pages = List.map (Sd.record d) pages
+
+let test_sequential_detected () =
+  let d = Sd.create () in
+  let results = feed d [ 10; 11; 12; 13 ] in
+  (* first access has no delta; the stride emerges once a majority
+     agrees *)
+  check_bool "eventually +1" true (List.mem (Some 1) results);
+  check (Alcotest.option Alcotest.int) "stable" (Some 1) (Sd.record d 14)
+
+let test_negative_stride () =
+  let d = Sd.create () in
+  ignore (feed d [ 100; 97; 94; 91 ]);
+  check (Alcotest.option Alcotest.int) "stride -3" (Some (-3)) (Sd.record d 88)
+
+let test_random_not_detected () =
+  let d = Sd.create () in
+  let rng = Rng.create 7 in
+  let misfires = ref 0 in
+  for _ = 1 to 200 do
+    if Sd.record d (Rng.int rng 1_000_000) <> None then incr misfires
+  done;
+  (* random pages only rarely produce an accidental majority *)
+  check_bool "rare misfires" true (!misfires < 5)
+
+let test_tolerates_minority_noise () =
+  let d = Sd.create () in
+  (* a sequential scan with an occasional pointer chase *)
+  ignore (feed d [ 10; 11; 12; 500; 501; 502; 503; 504 ]);
+  check (Alcotest.option Alcotest.int) "majority survives noise" (Some 1)
+    (Sd.record d 505)
+
+let test_reset () =
+  let d = Sd.create () in
+  ignore (feed d [ 1; 2; 3; 4; 5 ]);
+  Sd.reset d;
+  check (Alcotest.option Alcotest.int) "fresh after reset" None (Sd.record d 9)
+
+let test_zero_stride_rejected () =
+  let d = Sd.create () in
+  (* refaulting the same page is not a stride worth prefetching *)
+  let results = feed d [ 42; 42; 42; 42; 42 ] in
+  check_bool "no zero stride" true (List.for_all (( = ) None) results)
+
+let prop_pure_sequential_always_converges =
+  QCheck.Test.make ~name:"any arithmetic scan converges to its stride"
+    ~count:100
+    QCheck.(pair (int_range 0 10_000) (int_range 1 64))
+    (fun (start, stride) ->
+      let d = Sd.create () in
+      for i = 0 to 7 do
+        ignore (Sd.record d (start + (i * stride)))
+      done;
+      Sd.record d (start + (8 * stride)) = Some stride)
+
+(* a sequential-scan application: each request touches 24 consecutive
+   pages so the detector has a stride to find *)
+let scan_app () =
+  let base = Adios_apps.Array_bench.app ~pages:4096 () in
+  let handle (ctx : App.ctx) (spec : Request.spec) =
+    ctx.App.compute 500;
+    for p = 0 to 23 do
+      View.touch_range ctx.App.view
+        ~addr:((spec.Request.key + p) * 4096)
+        ~len:8 ~write:false;
+      ctx.App.compute 100
+    done
+  in
+  let gen rng =
+    {
+      Request.kind = 0;
+      key = Rng.int rng (4096 - 24);
+      req_bytes = 64;
+      reply_bytes = 64;
+    }
+  in
+  { base with App.name = "seq-scan"; handle; gen }
+
+let run_scan prefetch =
+  let cfg = { (Config.default Config.Adios) with Config.prefetch } in
+  Runner.run cfg (scan_app ()) ~offered_krps:40. ~requests:6_000 ()
+
+let test_prefetch_end_to_end () =
+  let off = run_scan Config.No_prefetch in
+  let on = run_scan (Config.Stride 8) in
+  let issued, useful, wasted = on.Runner.prefetches in
+  let issued0, _, _ = off.Runner.prefetches in
+  check_int "off issues none" 0 issued0;
+  check_bool "prefetches issued" true (issued > 1000);
+  check_bool "mostly useful" true (useful * 2 > issued);
+  check_bool "bounded waste" true (wasted * 2 < issued);
+  check_bool "latency improves" true
+    (on.Runner.e2e.Adios_stats.Summary.p50
+    < off.Runner.e2e.Adios_stats.Summary.p50);
+  check_int "conservation" 6_000 (on.Runner.completed + on.Runner.dropped)
+
+let test_prefetch_harmless_on_random () =
+  let cfg =
+    { (Config.default Config.Dilos) with Config.prefetch = Config.Stride 8 }
+  in
+  let r =
+    Runner.run cfg
+      (Adios_apps.Array_bench.app ~pages:2048 ())
+      ~offered_krps:800. ~requests:8_000 ()
+  in
+  let issued, _, _ = r.Runner.prefetches in
+  check_bool "almost no prefetches on random access" true (issued < 100);
+  check_int "conservation" 8_000 (r.Runner.completed + r.Runner.dropped)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "prefetch"
+    [
+      ( "detector",
+        [
+          Alcotest.test_case "sequential" `Quick test_sequential_detected;
+          Alcotest.test_case "negative stride" `Quick test_negative_stride;
+          Alcotest.test_case "random" `Quick test_random_not_detected;
+          Alcotest.test_case "minority noise" `Quick
+            test_tolerates_minority_noise;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "zero stride" `Quick test_zero_stride_rejected;
+          q prop_pure_sequential_always_converges;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "end to end" `Quick test_prefetch_end_to_end;
+          Alcotest.test_case "random harmless" `Quick
+            test_prefetch_harmless_on_random;
+        ] );
+    ]

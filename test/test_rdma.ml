@@ -1,0 +1,261 @@
+module Sim = Adios_engine.Sim
+module Clock = Adios_engine.Clock
+module Link = Adios_rdma.Link
+module Verbs = Adios_rdma.Verbs
+module Nic = Adios_rdma.Nic
+module Raw_eth = Adios_rdma.Raw_eth
+module Memnode = Adios_rdma.Memnode
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* --- link ------------------------------------------------------------- *)
+
+let test_link_serialize () =
+  let sim = Sim.create () in
+  let link = Link.create sim ~gbps:100. ~wire_overhead:0. () in
+  (* 100 Gb/s = 6.25 B/cycle at 2 GHz; 4096 B ~ 656 cycles *)
+  let c = Link.serialize_cycles link ~bytes:4096 in
+  check_bool "serialization near 656" true (abs (c - 656) <= 2);
+  let link27 = Link.create sim ~gbps:100. ~wire_overhead:0.27 () in
+  let c27 = Link.serialize_cycles link27 ~bytes:4096 in
+  check_bool "overhead scales" true (abs (c27 - 833) <= 3)
+
+let test_link_utilization () =
+  let sim = Sim.create () in
+  let link = Link.create sim ~gbps:100. () in
+  let snap = Link.snapshot link in
+  Sim.schedule sim ~delay:0 (fun () ->
+      Link.occupy link ~cycles:100 ~bytes:625);
+  Sim.schedule sim ~delay:400 (fun () -> ());
+  Sim.run sim;
+  let u = Link.utilization_since link ~snapshot:snap in
+  check (Alcotest.float 1e-6) "busy 1/4" 0.25 u;
+  check_int "bytes" 625 (Link.bytes_carried link)
+
+(* --- nic -------------------------------------------------------------- *)
+
+let make_nic sim =
+  let rx = Link.create sim ~gbps:100. ~wire_overhead:0. () in
+  let tx = Link.create sim ~gbps:100. ~wire_overhead:0. () in
+  ( Nic.create sim ~rx_link:rx ~tx_link:tx ~wqe_overhead_cycles:100
+      ~base_latency_cycles:1000 (),
+    rx,
+    tx )
+
+let test_nic_read_completion_timing () =
+  let sim = Sim.create () in
+  let nic, _, _ = make_nic sim in
+  let qp = Nic.create_qp nic ~depth:16 in
+  let cq = Verbs.Cq.create () in
+  let done_at = ref 0 in
+  let ok =
+    Nic.post qp ~opcode:Verbs.Read ~bytes:4096 ~cq
+      ~user:(fun () -> done_at := Sim.now sim)
+  in
+  check_bool "posted" true ok;
+  check_int "outstanding" 1 (Nic.outstanding qp);
+  Sim.run sim;
+  (* completion enqueued but user callback fires on poll *)
+  check_int "cq depth" 1 (Verbs.Cq.depth cq);
+  List.iter
+    (fun (c : (unit -> unit) Verbs.completion) -> c.Verbs.user ())
+    (Verbs.Cq.poll cq ~max:10);
+  (* wqe 100 + serialize 656 + latency 1000 = 1756 *)
+  check_bool "completion time" true (abs (!done_at - 1756) <= 3);
+  check_int "outstanding drained" 0 (Nic.outstanding qp);
+  check_int "posted counter" 1 (Nic.posted nic);
+  check_int "completed counter" 1 (Nic.completed nic);
+  check_int "read bytes" 4096 (Nic.read_bytes nic)
+
+let test_nic_qp_depth_enforced () =
+  let sim = Sim.create () in
+  let nic, _, _ = make_nic sim in
+  let qp = Nic.create_qp nic ~depth:2 in
+  let cq = Verbs.Cq.create () in
+  let post () =
+    Nic.post qp ~opcode:Verbs.Read ~bytes:64 ~cq ~user:(fun () -> ())
+  in
+  check_bool "1" true (post ());
+  check_bool "2" true (post ());
+  check_bool "3 rejected" false (post ());
+  Sim.run sim;
+  ignore (Verbs.Cq.poll cq ~max:10);
+  check_bool "accepted after drain" true (post ())
+
+let test_nic_per_qp_fifo () =
+  let sim = Sim.create () in
+  let nic, _, _ = make_nic sim in
+  let qp = Nic.create_qp nic ~depth:16 in
+  let cq = Verbs.Cq.create () in
+  let order = ref [] in
+  for i = 1 to 4 do
+    ignore
+      (Nic.post qp ~opcode:Verbs.Read ~bytes:64 ~cq
+         ~user:(fun () -> order := i :: !order))
+  done;
+  Sim.run sim;
+  List.iter (fun (c : _ Verbs.completion) -> c.Verbs.user ()) (Verbs.Cq.poll cq ~max:10);
+  check (Alcotest.list Alcotest.int) "in order" [ 1; 2; 3; 4 ]
+    (List.rev !order)
+
+let test_nic_rr_across_qps () =
+  let sim = Sim.create () in
+  let nic, _, _ = make_nic sim in
+  let qp_a = Nic.create_qp nic ~depth:16 in
+  let qp_b = Nic.create_qp nic ~depth:16 in
+  let cq = Verbs.Cq.create () in
+  let order = ref [] in
+  (* backlog on A, one on B: B must not wait behind all of A *)
+  Sim.schedule sim ~delay:0 (fun () ->
+      for i = 1 to 3 do
+        ignore
+          (Nic.post qp_a ~opcode:Verbs.Read ~bytes:4096 ~cq
+             ~user:(fun () -> order := ("a", i) :: !order))
+      done;
+      ignore
+        (Nic.post qp_b ~opcode:Verbs.Read ~bytes:4096 ~cq
+           ~user:(fun () -> order := ("b", 1) :: !order)));
+  Sim.run sim;
+  List.iter (fun (c : _ Verbs.completion) -> c.Verbs.user ()) (Verbs.Cq.poll cq ~max:10);
+  let seq = List.rev !order in
+  (* round-robin: a1 then b1 (not behind a2/a3) *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "rr order"
+    [ ("a", 1); ("b", 1); ("a", 2); ("a", 3) ]
+    seq
+
+let test_nic_directions_independent () =
+  let sim = Sim.create () in
+  let nic, _, _ = make_nic sim in
+  let qp_r = Nic.create_qp nic ~depth:16 in
+  let qp_w = Nic.create_qp nic ~depth:16 in
+  let cq = Verbs.Cq.create () in
+  let read_done = ref 0 and write_done = ref 0 in
+  Sim.schedule sim ~delay:0 (fun () ->
+      ignore
+        (Nic.post qp_r ~opcode:Verbs.Read ~bytes:4096 ~cq
+           ~user:(fun () -> read_done := Sim.now sim));
+      ignore
+        (Nic.post qp_w ~opcode:Verbs.Write ~bytes:4096 ~cq
+           ~user:(fun () -> write_done := Sim.now sim)));
+  Sim.run sim;
+  List.iter (fun (c : _ Verbs.completion) -> c.Verbs.user ()) (Verbs.Cq.poll cq ~max:10);
+  (* full duplex: both complete at the single-transfer time *)
+  check_bool "read" true (abs (!read_done - 1756) <= 3);
+  check_bool "write" true (abs (!write_done - 1756) <= 3)
+
+let test_cq_notify () =
+  let sim = Sim.create () in
+  let nic, _, _ = make_nic sim in
+  let qp = Nic.create_qp nic ~depth:4 in
+  let cq = Verbs.Cq.create () in
+  let notified = ref 0 in
+  Verbs.Cq.set_notify cq (fun () -> incr notified);
+  ignore (Nic.post qp ~opcode:Verbs.Read ~bytes:64 ~cq ~user:(fun () -> ()));
+  Sim.run sim;
+  check_int "notified once" 1 !notified
+
+(* --- raw ethernet ------------------------------------------------------ *)
+
+let test_raw_eth_delivery () =
+  let sim = Sim.create () in
+  let link = Link.create sim ~gbps:100. ~wire_overhead:0. () in
+  let got = ref [] in
+  let chan =
+    Raw_eth.create sim ~link ~latency_cycles:500
+      ~deliver:(fun ~rx_at p -> got := (p, rx_at) :: !got)
+  in
+  let tx_done = ref 0 in
+  Raw_eth.send chan ~bytes:625
+    ~on_tx_complete:(fun () -> tx_done := Sim.now sim)
+    "hello";
+  Raw_eth.send chan ~bytes:625 "world";
+  check_int "queued+inflight" 1 (Raw_eth.queued chan);
+  Sim.run sim;
+  check_int "sent" 2 (Raw_eth.sent chan);
+  (* 625B at 6.25B/cy = 100 cycles serialization *)
+  check_int "tx completion at serialize end" 100 !tx_done;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "fifo + latency"
+    [ ("hello", 600); ("world", 700) ]
+    (List.rev !got)
+
+(* --- memnode ------------------------------------------------------------ *)
+
+let test_memnode () =
+  let m = Memnode.create ~capacity_bytes:10_000 in
+  let r = Memnode.register m ~bytes:4000 in
+  check_int "base" 0 r.Memnode.base;
+  let r2 = Memnode.register m ~bytes:4000 in
+  check_int "base2" 4000 r2.Memnode.base;
+  check_bool "valid" true (Memnode.validate m ~addr:100 ~bytes:64);
+  check_bool "valid across" true (Memnode.validate m ~addr:4000 ~bytes:4000);
+  check_bool "invalid" false (Memnode.validate m ~addr:8000 ~bytes:64);
+  Alcotest.check_raises "exhausted" (Failure "Memnode.register: capacity exhausted")
+    (fun () -> ignore (Memnode.register m ~bytes:4000));
+  Memnode.record_read m ~bytes:4096;
+  Memnode.record_write m ~bytes:64;
+  check_int "reads" 1 (Memnode.reads m);
+  check_int "writes" 1 (Memnode.writes m);
+  check_int "bytes" 4160 (Memnode.bytes_served m);
+  check_int "registered" 8000 (Memnode.registered_bytes m)
+
+let prop_conservation =
+  (* every accepted WR produces exactly one completion, in per-QP order *)
+  QCheck.Test.make ~name:"posted = completed, per-QP FIFO" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 60) (pair (int_range 0 3) (int_range 1 8192)))
+    (fun posts ->
+      let sim = Sim.create () in
+      let nic, _, _ = make_nic sim in
+      let qps = Array.init 4 (fun _ -> Nic.create_qp nic ~depth:64) in
+      let cq = Verbs.Cq.create () in
+      let order = Array.make 4 [] in
+      let accepted = ref 0 in
+      List.iteri
+        (fun i (q, bytes) ->
+          let ok =
+            Nic.post qps.(q)
+              ~opcode:(if i mod 3 = 0 then Verbs.Write else Verbs.Read)
+              ~bytes
+              ~user:(fun () -> order.(q) <- i :: order.(q))
+              ~cq
+          in
+          if ok then incr accepted)
+        posts;
+      Sim.run sim;
+      List.iter (fun (c : _ Verbs.completion) -> c.Verbs.user ()) (Verbs.Cq.poll cq ~max:max_int);
+      Nic.completed nic = !accepted
+      && Array.for_all
+           (fun l ->
+             let l = List.rev l in
+             List.sort compare l = l)
+           order)
+
+let () =
+  Alcotest.run "rdma"
+    [
+      ( "link",
+        [
+          Alcotest.test_case "serialize" `Quick test_link_serialize;
+          Alcotest.test_case "utilization" `Quick test_link_utilization;
+        ] );
+      ( "nic",
+        [
+          Alcotest.test_case "read completion timing" `Quick
+            test_nic_read_completion_timing;
+          Alcotest.test_case "qp depth" `Quick test_nic_qp_depth_enforced;
+          Alcotest.test_case "per-qp fifo" `Quick test_nic_per_qp_fifo;
+          Alcotest.test_case "rr across qps" `Quick test_nic_rr_across_qps;
+          Alcotest.test_case "duplex directions" `Quick
+            test_nic_directions_independent;
+          Alcotest.test_case "cq notify" `Quick test_cq_notify;
+        ] );
+      ( "raw_eth",
+        [ Alcotest.test_case "delivery" `Quick test_raw_eth_delivery ] );
+      ("memnode", [ Alcotest.test_case "regions" `Quick test_memnode ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_conservation ]);
+    ]
