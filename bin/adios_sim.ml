@@ -10,6 +10,12 @@ module Runner = Adios_core.Runner
 module Report = Adios_core.Report
 module Summary = Adios_stats.Summary
 module Clock = Adios_engine.Clock
+module Sink = Adios_trace.Sink
+module Chrome = Adios_trace.Chrome
+module Timeline = Adios_trace.Timeline
+module Checker = Adios_trace.Checker
+
+let system_names = [ "adios"; "dilos"; "dilos-p"; "hermit" ]
 
 let system_conv =
   let parse = function
@@ -17,19 +23,42 @@ let system_conv =
     | "dilos-p" | "dilosp" -> Ok Config.Dilos_p
     | "adios" -> Ok Config.Adios
     | "hermit" -> Ok Config.Hermit
-    | s -> Error (`Msg ("unknown system: " ^ s))
+    | s ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown system %S (valid: %s)" s
+              (String.concat ", " system_names)))
   in
   let print ppf s = Format.pp_print_string ppf (Config.system_name s) in
   Cmdliner.Arg.conv (parse, print)
+
+let app_names =
+  [
+    "array";
+    "memcached";
+    "memcached-1024";
+    "rocksdb";
+    "rocksdb-scan";
+    "silo";
+    "faiss";
+  ]
 
 let app_of_name = function
   | "array" -> Ok (Adios_apps.Array_bench.app ())
   | "memcached" | "memcached-128" -> Ok (Adios_apps.Memcached.app ())
   | "memcached-1024" -> Ok (Adios_apps.Memcached.app ~value_bytes:1024 ())
   | "rocksdb" -> Ok (Adios_apps.Rocksdb.app ())
+  | "rocksdb-scan" ->
+    (* SCAN-heavy mix: 20x the default scan share, for stride-prefetch
+       and preemption experiments *)
+    Ok (Adios_apps.Rocksdb.app ~scan_fraction:0.2 ())
   | "silo" -> Ok (Adios_apps.Silo.app ())
   | "faiss" -> Ok (Adios_apps.Faiss.app ())
-  | s -> Error (`Msg ("unknown app: " ^ s))
+  | s ->
+    Error
+      (`Msg
+         (Printf.sprintf "unknown app %S (valid: %s)" s
+            (String.concat ", " app_names)))
 
 let app_conv =
   let print ppf (a : Adios_core.App.t) =
@@ -49,7 +78,7 @@ let dispatch_conv =
   Cmdliner.Arg.conv (parse, print)
 
 let run system app load requests local_ratio dispatch prefetch no_delegation
-    seed show_cdf show_breakdown =
+    seed show_cdf show_breakdown trace_file timeseries_file trace_cap =
   let cfg = Config.default system in
   let cfg =
     {
@@ -63,13 +92,49 @@ let run system app load requests local_ratio dispatch prefetch no_delegation
         (if no_delegation then Config.Tx_sync_spin else cfg.Config.tx_mode);
     }
   in
-  let r = Runner.run cfg app ~offered_krps:load ~requests () in
+  let trace =
+    match trace_file with
+    | None -> Sink.null
+    | Some _ -> Sink.create ~capacity:trace_cap
+  in
+  let timeline =
+    match timeseries_file with None -> None | Some _ -> Some (Timeline.create ())
+  in
+  let r = Runner.run cfg app ~offered_krps:load ~requests ~trace ?timeline () in
   Report.result_line r;
   List.iter
     (fun (k, s) -> Format.printf "%-6s %a@." k Summary.pp s)
     r.Runner.kind_summaries;
   if show_breakdown then Report.breakdown ~title:"latency breakdown (cycles)" r;
-  if show_cdf then Report.cdf ~title:"latency CDF" r
+  if show_cdf then Report.cdf ~title:"latency CDF" r;
+  let write path f =
+    try f () with
+    | Sys_error msg ->
+      Format.eprintf "adios_sim: cannot write %s: %s@." path msg;
+      exit 1
+  in
+  (match (timeseries_file, timeline) with
+  | Some path, Some tl ->
+    write path (fun () -> Timeline.write_csv ~path tl);
+    Format.printf "timeseries: %d samples x %d series -> %s@." (Timeline.length tl)
+      (List.length (Timeline.names tl))
+      path
+  | _ -> ());
+  match trace_file with
+  | None -> ()
+  | Some path ->
+    let events = Sink.to_list trace in
+    write path (fun () -> Chrome.write ~path events);
+    Format.printf "trace: %d events -> %s%s@." (List.length events) path
+      (if Sink.truncated trace then
+         Printf.sprintf " (ring full: %d oldest events dropped)"
+           (Sink.dropped trace)
+       else "");
+    (* a truncated ring loses span openings, so only a complete trace is
+       held to the strict invariants *)
+    let report = Checker.check ~strict:(not (Sink.truncated trace)) events in
+    Format.printf "%a@." Checker.pp report;
+    if not (Checker.ok report) then exit 1
 
 open Cmdliner
 
@@ -137,6 +202,44 @@ let breakdown_arg =
     value & flag
     & info [ "breakdown" ] ~doc:"Print the per-stage latency breakdown.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the whole run and write it to FILE in \
+           Chrome trace_event JSON (load in Perfetto or chrome://tracing). \
+           The trace-derived invariant checker runs on the recorded events; \
+           violations are printed and make the run exit non-zero.")
+
+let timeseries_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeseries" ] ~docv:"FILE"
+        ~doc:
+          "Sample queue depths, in-flight faults, free frames and link \
+           utilization every 5us and write the series to FILE as CSV.")
+
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg "must be positive")
+    | None -> Error (`Msg ("not an integer: " ^ s))
+  in
+  Cmdliner.Arg.conv (parse, Format.pp_print_int)
+
+let trace_cap_arg =
+  Arg.(
+    value & opt positive_int 1_048_576
+    & info [ "trace-cap" ] ~docv:"N"
+        ~doc:
+          "Trace ring-buffer capacity in events; when full the oldest \
+           events are overwritten (the trace is truncated, not the run \
+           aborted).")
+
 let cmd =
   let doc =
     "run one memory-disaggregation experiment point (Adios reproduction)"
@@ -146,6 +249,6 @@ let cmd =
     Term.(
       const run $ system_arg $ app_arg $ load_arg $ requests_arg $ ratio_arg
       $ dispatch_arg $ prefetch_arg $ no_delegation_arg $ seed_arg $ cdf_arg
-      $ breakdown_arg)
+      $ breakdown_arg $ trace_arg $ timeseries_arg $ trace_cap_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,58 +1,43 @@
 module Summary = Adios_stats.Summary
 module Clock = Adios_engine.Clock
 
-let csv_header =
-  String.concat ","
-    [
-      "system";
-      "app";
-      "offered_krps";
-      "achieved_krps";
-      "drop_fraction";
-      "p50_us";
-      "p90_us";
-      "p99_us";
-      "p999_us";
-      "mean_us";
-      "rdma_util";
-      "faults";
-      "coalesced";
-      "evictions";
-      "preemptions";
-      "qp_stalls";
-      "frame_stalls";
-      "prefetch_issued";
-      "prefetch_useful";
-      "prefetch_wasted";
-    ]
-
-let csv_row (r : Runner.result) =
+(* One list drives both the header and the rows, so the two can never
+   drift out of arity (the bug this layout replaces: a counter added to
+   Runner.result but only one of header/row updated). *)
+let fields : (string * (Runner.result -> string)) list =
   let us v = Printf.sprintf "%.3f" (Clock.to_us v) in
-  let issued, useful, wasted = r.Runner.prefetches in
-  String.concat ","
-    [
-      r.Runner.system;
-      r.Runner.app;
-      Printf.sprintf "%.1f" r.Runner.offered_krps;
-      Printf.sprintf "%.1f" r.Runner.achieved_krps;
-      Printf.sprintf "%.4f" r.Runner.drop_fraction;
-      us r.Runner.e2e.Summary.p50;
-      us r.Runner.e2e.Summary.p90;
-      us r.Runner.e2e.Summary.p99;
-      us r.Runner.e2e.Summary.p999;
-      Printf.sprintf "%.3f"
-        (r.Runner.e2e.Summary.mean /. float_of_int Clock.cycles_per_us);
-      Printf.sprintf "%.4f" r.Runner.rdma_util;
-      string_of_int r.Runner.faults;
-      string_of_int r.Runner.coalesced;
-      string_of_int r.Runner.evictions;
-      string_of_int r.Runner.preemptions;
-      string_of_int r.Runner.qp_stalls;
-      string_of_int r.Runner.frame_stalls;
-      string_of_int issued;
-      string_of_int useful;
-      string_of_int wasted;
-    ]
+  let prefetch pick r = string_of_int (pick r.Runner.prefetches) in
+  [
+    ("system", fun r -> r.Runner.system);
+    ("app", fun r -> r.Runner.app);
+    ("offered_krps", fun r -> Printf.sprintf "%.1f" r.Runner.offered_krps);
+    ("achieved_krps", fun r -> Printf.sprintf "%.1f" r.Runner.achieved_krps);
+    ("drop_fraction", fun r -> Printf.sprintf "%.4f" r.Runner.drop_fraction);
+    ("p50_us", fun r -> us r.Runner.e2e.Summary.p50);
+    ("p90_us", fun r -> us r.Runner.e2e.Summary.p90);
+    ("p99_us", fun r -> us r.Runner.e2e.Summary.p99);
+    ("p999_us", fun r -> us r.Runner.e2e.Summary.p999);
+    ( "mean_us",
+      fun r ->
+        Printf.sprintf "%.3f"
+          (r.Runner.e2e.Summary.mean /. float_of_int Clock.cycles_per_us) );
+    ("rdma_util", fun r -> Printf.sprintf "%.4f" r.Runner.rdma_util);
+    ("faults", fun r -> string_of_int r.Runner.faults);
+    ("coalesced", fun r -> string_of_int r.Runner.coalesced);
+    ("evictions", fun r -> string_of_int r.Runner.evictions);
+    ("preemptions", fun r -> string_of_int r.Runner.preemptions);
+    ("qp_stalls", fun r -> string_of_int r.Runner.qp_stalls);
+    ("frame_stalls", fun r -> string_of_int r.Runner.frame_stalls);
+    ("writeback_stalls", fun r -> string_of_int r.Runner.writeback_stalls);
+    ("drops_queue", fun r -> string_of_int r.Runner.drops_queue);
+    ("drops_buffer", fun r -> string_of_int r.Runner.drops_buffer);
+    ("prefetch_issued", prefetch (fun (i, _, _) -> i));
+    ("prefetch_useful", prefetch (fun (_, u, _) -> u));
+    ("prefetch_wasted", prefetch (fun (_, _, w) -> w));
+  ]
+
+let csv_header = String.concat "," (List.map fst fields)
+let csv_row r = String.concat "," (List.map (fun (_, f) -> f r) fields)
 
 let to_csv sweeps =
   let buf = Buffer.create 4096 in

@@ -1,6 +1,11 @@
 (** Machine-readable result export: turn sweep results into CSV for
     plotting (gnuplot/pandas) or archival next to EXPERIMENTS.md. *)
 
+val fields : (string * (Runner.result -> string)) list
+(** The column list: name paired with its formatter. {!csv_header} and
+    {!csv_row} are both derived from this, so header and row arity
+    always match. *)
+
 val csv_header : string
 (** Column names of {!csv_row}, comma-separated. *)
 

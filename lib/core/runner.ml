@@ -8,6 +8,8 @@ module Histogram = Adios_stats.Histogram
 module Summary = Adios_stats.Summary
 module Breakdown = Adios_stats.Breakdown
 
+module Timeline = Adios_trace.Timeline
+
 type result = {
   system : string;
   app : string;
@@ -25,13 +27,42 @@ type result = {
   preemptions : int;
   qp_stalls : int;
   frame_stalls : int;
+  writeback_stalls : int;
+  drops_queue : int;
+  drops_buffer : int;
   prefetches : int * int * int;
   completed : int;
   dropped : int;
   buffer_hwm : int;
 }
 
-let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) () =
+(* The standard gauge set every time-series run records (DESIGN.md's
+   occupancy signals): queue depths, fault pipeline, memory pressure and
+   fetch-link utilization over the sampling window. *)
+let register_gauges timeline system =
+  let pager = System.pager system in
+  Timeline.add_gauge timeline ~name:"queue_depth" (fun () ->
+      float_of_int (System.pending_depth system));
+  Timeline.add_gauge timeline ~name:"ready_backlog" (fun () ->
+      float_of_int (System.ready_backlog system));
+  Timeline.add_gauge timeline ~name:"busy_workers" (fun () ->
+      float_of_int (System.busy_workers system));
+  Timeline.add_gauge timeline ~name:"inflight_faults" (fun () ->
+      float_of_int (Adios_mem.Pager.inflight pager));
+  Timeline.add_gauge timeline ~name:"free_frames" (fun () ->
+      float_of_int (Adios_mem.Pager.free_frames pager));
+  Timeline.add_gauge timeline ~name:"buffers_in_use" (fun () ->
+      float_of_int
+        (Adios_unithread.Buffer_pool.in_use (System.buffers system)));
+  let link = System.rdma_rx_link system in
+  let last = ref (Link.snapshot link) in
+  Timeline.add_gauge timeline ~name:"rdma_rx_util" (fun () ->
+      let u = Link.utilization_since link ~snapshot:!last in
+      last := Link.snapshot link;
+      u)
+
+let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
+    ?timeline ?(sample_period = Clock.of_us 5.) () =
   let warmup = match warmup with Some w -> w | None -> requests / 10 in
   let sim = Sim.create () in
   let e2e_hist = Histogram.create () in
@@ -51,7 +82,19 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) () =
       Breakdown.record breakdown req.Request.comps
     end
   in
-  let system = System.create sim cfg app ~on_reply in
+  let system = System.create ?trace sim cfg app ~on_reply in
+  (match timeline with
+  | None -> ()
+  | Some tl ->
+    register_gauges tl system;
+    (* the sampler is a plain process: it shifts spawn sequence numbers
+       but emits no events into the datapath, so enabling it only adds
+       rows to the CSV *)
+    Proc.spawn sim (fun () ->
+        while true do
+          Proc.wait sample_period;
+          Timeline.sample tl ~ts:(Sim.now sim)
+        done));
   let client_link =
     Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead
       ()
@@ -131,6 +174,9 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) () =
     preemptions = counters.System.preemptions;
     qp_stalls = counters.System.qp_stalls;
     frame_stalls = counters.System.frame_stalls;
+    writeback_stalls = counters.System.writeback_stalls;
+    drops_queue = counters.System.drops_queue;
+    drops_buffer = counters.System.drops_buffer;
     prefetches =
       (let ps = System.prefetch_stats system in
        ( ps.Adios_mem.Prefetcher.issued,

@@ -24,6 +24,9 @@ type result = {
   preemptions : int;
   qp_stalls : int;
   frame_stalls : int;
+  writeback_stalls : int;  (** reclaimer pauses on a full QP *)
+  drops_queue : int;  (** arrivals rejected: central queue full *)
+  drops_buffer : int;  (** arrivals rejected: buffer pool exhausted *)
   prefetches : int * int * int;  (** issued, useful, wasted *)
   completed : int;
   dropped : int;
@@ -37,10 +40,21 @@ val run :
   requests:int ->
   ?warmup:int ->
   ?max_seconds:float ->
+  ?trace:Adios_trace.Sink.t ->
+  ?timeline:Adios_trace.Timeline.t ->
+  ?sample_period:Adios_engine.Clock.cycles ->
   unit ->
   result
 (** [run cfg app ~offered_krps ~requests ()] builds a fresh simulated
     testbed, injects [requests] Poisson arrivals at the offered rate and
     returns measurements over the post-warmup window. [warmup] (default
     [requests/10]) initial requests are excluded from every statistic.
-    [max_seconds] (default 30 simulated seconds) bounds runaway runs. *)
+    [max_seconds] (default 30 simulated seconds) bounds runaway runs.
+
+    [trace] records the span stream of the whole run (see
+    {!Adios_trace.Sink}); the default null sink records nothing and does
+    not perturb the simulation. [timeline], if given, gets the standard
+    gauge set registered (queue depth, ready backlog, busy workers,
+    in-flight faults, free frames, buffers in use, fetch-link
+    utilization) and is sampled every [sample_period] cycles
+    (default 5 us). *)

@@ -14,6 +14,8 @@ module Task = Adios_unithread.Task
 module Buffer_pool = Adios_unithread.Buffer_pool
 module Integrator = Adios_stats.Integrator
 module Prefetcher = Adios_mem.Prefetcher
+module Trace_sink = Adios_trace.Sink
+module Trace_event = Adios_trace.Event
 
 type counters = {
   mutable admitted : int;
@@ -77,10 +79,18 @@ type t = {
   rng : Rng.t;
   mutable reclaimer : Reclaimer.t option;
   counters : counters;
+  trace : Trace_sink.t;
 }
 
 let counters t = t.counters
 let pager t = t.pager
+
+(* Single tracing entry point: one branch and no allocation when the
+   sink is off. *)
+let ev ?(req = -1) ?(worker = -1) ?(page = -1) t kind =
+  Trace_sink.emit t.trace ~ts:(Sim.now t.sim) ~kind ~req ~worker ~page
+
+let worker_id e = match e.worker with Some w -> w.wid | None -> -1
 
 let reclaimer t =
   match t.reclaimer with Some r -> r | None -> assert false
@@ -93,6 +103,15 @@ let memnode t = t.memnode
 let arena t = t.arena
 let worker_outstanding t = Array.map (fun w -> Nic.outstanding w.qp) t.workers
 let prefetch_stats t = t.prefetch_stats
+let pending_depth t = Queue.length t.pending
+
+let ready_backlog t =
+  Array.fold_left
+    (fun acc w -> acc + Queue.length w.ready + Queue.length w.local)
+    0 t.workers
+
+let busy_workers t =
+  Array.fold_left (fun acc w -> if w.idle then acc else acc + 1) 0 t.workers
 
 let is_busywait cfg =
   match cfg.Config.system with
@@ -113,10 +132,11 @@ let attach_drain cq =
 (* --- page-fault handling ------------------------------------------------ *)
 
 (* Ensure a frame is available, stalling on memory pressure. *)
-let wait_frame t =
+let wait_frame t ~req ~worker ~page =
   (match t.reclaimer with Some r -> Reclaimer.trigger r | None -> ());
   if Pager.free_frames t.pager <= 0 then begin
     t.counters.frame_stalls <- t.counters.frame_stalls + 1;
+    ev t Trace_event.Stall_frame ~req ~worker ~page;
     Proc.suspend (fun resume -> Pager.wait_frame t.pager resume)
   end
 
@@ -176,10 +196,13 @@ let maybe_prefetch t e (w : worker) page =
             Nic.post w.qp ~opcode:Verbs.Read ~bytes:page_bytes ~cq:w.fetch_cq
               ~user:(fun () ->
                 Pager.complete_fetch t.pager q;
+                ev t Trace_event.Rdma_complete ~worker:w.wid ~page:q;
                 List.iter (fun f -> f ()) (Pager.take_waiters t.pager q))
           in
           if ok then begin
             incr issued;
+            ev t Trace_event.Rdma_issue ~req:e.req.Request.id ~worker:w.wid
+              ~page:q;
             Bytes.set t.prefetched q '\001';
             t.prefetch_stats.Prefetcher.issued <-
               t.prefetch_stats.Prefetcher.issued + 1
@@ -208,8 +231,12 @@ let rec ensure_present t e page =
     if Params.hit_touch_cycles > 0 then Proc.wait Params.hit_touch_cycles
   | Pager.Inflight ->
     t.counters.coalesced <- t.counters.coalesced + 1;
+    let rid = e.req.Request.id and wid = worker_id e in
+    ev t Trace_event.Fault_begin ~req:rid ~worker:wid ~page;
+    ev t Trace_event.Coalesce ~req:rid ~worker:wid ~page;
     if is_busywait t.cfg then spin_on_inflight t e page
     else yield_on_inflight t e page;
+    ev t Trace_event.Fault_end ~req:rid ~worker:wid ~page;
     ensure_present t e page
   | Pager.Remote -> fault t e page
 
@@ -217,6 +244,8 @@ let rec ensure_present t e page =
 and fault t e page =
   let comps = e.req.Request.comps in
   t.counters.faults <- t.counters.faults + 1;
+  let rid = e.req.Request.id and wid = worker_id e in
+  ev t Trace_event.Fault_begin ~req:rid ~worker:wid ~page;
   let sw =
     Params.fault_sw_cycles
     +
@@ -231,18 +260,24 @@ and fault t e page =
   let rec prepare () =
     if Pager.state t.pager page <> Pager.Remote then `Changed
     else if Pager.free_frames t.pager <= 0 then begin
-      wait_frame t;
+      wait_frame t ~req:rid ~worker:wid ~page;
       prepare ()
     end
     else if Nic.outstanding w.qp >= t.cfg.Config.qp_depth then begin
       t.counters.qp_stalls <- t.counters.qp_stalls + 1;
+      ev t Trace_event.Stall_qp ~req:rid ~worker:wid ~page;
       Proc.wait 200;
       prepare ()
     end
     else `Go
   in
   match prepare () with
-  | `Changed -> ensure_present t e page
+  | `Changed ->
+    (* the page moved on while we slept: this fault was absorbed by
+       someone else's fetch (or it is already Present) *)
+    ev t Trace_event.Coalesce ~req:rid ~worker:wid ~page;
+    ev t Trace_event.Fault_end ~req:rid ~worker:wid ~page;
+    ensure_present t e page
   | `Go ->
     Pager.start_fetch t.pager page;
     let page_bytes = t.app.App.page_size in
@@ -256,10 +291,12 @@ and fault t e page =
             Nic.post w.qp ~opcode:Verbs.Read ~bytes:page_bytes ~cq:w.fetch_cq
               ~user:(fun () ->
                 Pager.complete_fetch t.pager page;
+                ev t Trace_event.Rdma_complete ~req:rid ~worker:wid ~page;
                 List.iter (fun f -> f ()) (Pager.take_waiters t.pager page);
                 resume ())
           in
-          if not ok then failwith "fault: QP full after prepare");
+          if not ok then failwith "fault: QP full after prepare"
+          else ev t Trace_event.Rdma_issue ~req:rid ~worker:wid ~page);
       Integrator.add t.busy_waiters (-1);
       comps.rdma <- comps.rdma + (Sim.now t.sim - start)
     end
@@ -270,17 +307,20 @@ and fault t e page =
         Nic.post w.qp ~opcode:Verbs.Read ~bytes:page_bytes ~cq:w.fetch_cq
           ~user:(fun () ->
             Pager.complete_fetch t.pager page;
+            ev t Trace_event.Rdma_complete ~req:rid ~worker:wid ~page;
             List.iter (fun f -> f ()) (Pager.take_waiters t.pager page);
             e.ready_at <- Sim.now t.sim;
             Queue.push e w.ready;
             Proc.Gate.signal w.gate)
       in
       if not ok then failwith "fault: QP full after prepare";
+      ev t Trace_event.Rdma_issue ~req:rid ~worker:wid ~page;
       Task.suspend ();
       comps.rdma <- comps.rdma + (e.ready_at - start)
     end;
     (* map the fetched page and return (Fig. 5 step 10) *)
-    charge_pf e Params.map_page_cycles
+    charge_pf e Params.map_page_cycles;
+    ev t Trace_event.Fault_end ~req:rid ~worker:wid ~page
 
 (* Touch every page of [addr, addr+len); hit, coalesce or fault. *)
 let touch_range t e ~addr ~len ~write =
@@ -309,6 +349,7 @@ let make_ctx t e =
         Sim.now t.sim - e.quantum_start >= Params.preempt_interval_cycles
       then begin
         t.counters.preemptions <- t.counters.preemptions + 1;
+        ev t Trace_event.Preempt ~req:e.req.Request.id ~worker:(worker_id e);
         compute Params.preempt_fire_cycles;
         e.preempted <- true;
         Task.suspend ()
@@ -329,6 +370,8 @@ let send_reply t e =
   Proc.wait Params.reply_post_cycles;
   comps.compute <- comps.compute + Params.reply_post_cycles;
   let buffer = e.req.Request.buffer in
+  let rid = e.req.Request.id and wid = worker_id e in
+  ev t Trace_event.Tx_submit ~req:rid ~worker:wid;
   match t.cfg.Config.tx_mode with
   | Config.Tx_delegated ->
     (* Fig. 6: the TX completion is raised on the dispatcher's CQ; the
@@ -336,6 +379,7 @@ let send_reply t e =
     Raw_eth.send t.reply_channel ~bytes:reply_bytes
       ~on_tx_complete:(fun () ->
         Sim.schedule t.sim ~delay:Params.tx_cqe_latency_cycles (fun () ->
+            ev t Trace_event.Tx_complete ~req:rid;
             Queue.push buffer t.recycle;
             Proc.Gate.signal t.dispatch_gate))
       e.req
@@ -346,7 +390,9 @@ let send_reply t e =
     Proc.suspend (fun resume ->
         Raw_eth.send t.reply_channel ~bytes:reply_bytes
           ~on_tx_complete:(fun () ->
-            Sim.schedule t.sim ~delay:Params.tx_cqe_latency_cycles resume)
+            Sim.schedule t.sim ~delay:Params.tx_cqe_latency_cycles (fun () ->
+                ev t Trace_event.Tx_complete ~req:rid ~worker:wid;
+                resume ()))
           e.req);
     Integrator.add t.busy_waiters (-1);
     comps.tx <- comps.tx + (Sim.now t.sim - start);
@@ -357,6 +403,7 @@ let send_reply t e =
     Raw_eth.send t.reply_channel ~bytes:reply_bytes
       ~on_tx_complete:(fun () ->
         Sim.schedule t.sim ~delay:Params.tx_cqe_latency_cycles (fun () ->
+            ev t Trace_event.Tx_complete ~req:rid;
             Buffer_pool.free t.buffers buffer))
       e.req
 
@@ -369,7 +416,9 @@ let requeue t e =
   Proc.Gate.signal t.dispatch_gate
 
 let step_task t e task =
-  match Task.run task with
+  let rid = e.req.Request.id and wid = worker_id e in
+  ev t Trace_event.Run_begin ~req:rid ~worker:wid;
+  (match Task.run task with
   | Task.Finished ->
     t.counters.handled <- t.counters.handled + 1;
     send_reply t e
@@ -378,7 +427,8 @@ let step_task t e task =
       e.preempted <- false;
       requeue t e
     end
-(* else: fault yield; the fetch completion re-enqueues the entry *)
+    (* else: fault yield; the fetch completion re-enqueues the entry *));
+  ev t Trace_event.Run_end ~req:rid ~worker:wid
 
 let charge_compute e cycles =
   e.req.Request.comps.compute <- e.req.Request.comps.compute + cycles;
@@ -422,10 +472,11 @@ let resume_ready t (_w : worker) e =
 
 (* close the request's queueing interval: from admission (or requeue)
    to the moment a worker takes it *)
-let account_dequeue t e =
+let account_dequeue t (w : worker) e =
   let comps = e.req.Request.comps in
   let now = Sim.now t.sim in
   e.req.Request.dispatched_at <- now;
+  ev t Trace_event.Dispatch ~req:e.req.Request.id ~worker:w.wid;
   comps.queue <- comps.queue + (now - e.enqueued_at);
   let bw_share =
     (Integrator.integral t.busy_waiters - e.bw_integral_at_enqueue)
@@ -469,7 +520,7 @@ let rec worker_loop t (w : worker) =
       match Queue.take_opt w.local with
       | Some e ->
         w.idle <- false;
-        account_dequeue t e;
+        account_dequeue t w e;
         run_entry t w e;
         worker_loop t w
       | None -> (
@@ -480,7 +531,7 @@ let rec worker_loop t (w : worker) =
         match stolen with
         | Some e ->
           w.idle <- false;
-          account_dequeue t e;
+          account_dequeue t w e;
           run_entry t w e;
           worker_loop t w
         | None ->
@@ -513,7 +564,7 @@ let dispatch_order t =
     idle
 
 let assign t (w : worker) e =
-  account_dequeue t e;
+  account_dequeue t w e;
   t.rr_cursor <- (w.wid + 1) mod Array.length t.workers;
   w.assigned <- Some e;
   w.idle <- false;
@@ -567,14 +618,20 @@ let rec dispatcher_loop t =
 
 let receive t ~rx_at req =
   req.Request.rx_at <- rx_at;
-  if Queue.length t.pending >= t.cfg.Config.central_queue_capacity then
-    t.counters.drops_queue <- t.counters.drops_queue + 1
+  if Queue.length t.pending >= t.cfg.Config.central_queue_capacity then begin
+    t.counters.drops_queue <- t.counters.drops_queue + 1;
+    ev t Trace_event.Req_drop_queue ~req:req.Request.id
+  end
   else
     match Buffer_pool.alloc t.buffers with
-    | None -> t.counters.drops_buffer <- t.counters.drops_buffer + 1
+    | None ->
+      t.counters.drops_buffer <- t.counters.drops_buffer + 1;
+      ev t Trace_event.Stall_buffer ~req:req.Request.id;
+      ev t Trace_event.Req_drop_buffer ~req:req.Request.id
     | Some buffer ->
       req.Request.buffer <- buffer;
       t.counters.admitted <- t.counters.admitted + 1;
+      ev t Trace_event.Req_enqueue ~req:req.Request.id;
       let e =
         {
           req;
@@ -627,22 +684,26 @@ let evict_page t ~page ~dirty =
   if dirty then begin
     (* write the page back to the memory node before dropping it *)
     let bytes = t.app.App.page_size in
+    let actor = Trace_event.reclaimer_actor in
     Memnode.record_write t.memnode ~bytes;
     let rec try_post () =
       let ok =
         Nic.post t.reclaim_qp ~opcode:Verbs.Write ~bytes ~cq:t.reclaim_cq
-          ~user:(fun () -> ())
+          ~user:(fun () ->
+            ev t Trace_event.Rdma_complete ~req:actor ~worker:actor ~page)
       in
       if not ok then begin
         t.counters.writeback_stalls <- t.counters.writeback_stalls + 1;
+        ev t Trace_event.Stall_qp ~req:actor ~worker:actor ~page;
         Proc.wait 200;
         try_post ()
       end
+      else ev t Trace_event.Rdma_issue ~req:actor ~worker:actor ~page
     in
     try_post ()
   end
 
-let create sim cfg app ~on_reply =
+let create ?(trace = Trace_sink.null) sim cfg app ~on_reply =
   let arena = Arena.create ~pages:app.App.pages ~page_size:app.App.page_size in
   app.App.build (View.direct arena);
   let capacity =
@@ -650,6 +711,7 @@ let create sim cfg app ~on_reply =
   in
   let capacity = min capacity app.App.pages in
   let pager = Pager.create ~pages:app.App.pages ~capacity in
+  Pager.attach_trace pager trace ~now:(fun () -> Sim.now sim);
   let memnode =
     Memnode.create ~capacity_bytes:(2 * app.App.pages * app.App.page_size)
   in
@@ -658,7 +720,7 @@ let create sim cfg app ~on_reply =
   let rdma_tx_link = Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead () in
   let reply_link = Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead () in
   let nic =
-    Nic.create sim ~rx_link:rdma_rx_link ~tx_link:rdma_tx_link
+    Nic.create ~trace sim ~rx_link:rdma_rx_link ~tx_link:rdma_tx_link
       ~wqe_overhead_cycles:Params.wqe_overhead_cycles
       ~base_latency_cycles:Params.rdma_base_latency_cycles ()
   in
@@ -729,11 +791,13 @@ let create sim cfg app ~on_reply =
           writeback_stalls = 0;
           frame_stalls = 0;
         };
+      trace;
     }
   in
   prefill_pages t;
   let reclaimer =
-    Reclaimer.start sim pager cfg.Config.reclaim cfg.Config.reclaim_config
+    Reclaimer.start ~trace sim pager cfg.Config.reclaim
+      cfg.Config.reclaim_config
       ~evict_page:(fun ~page ~dirty -> evict_page t ~page ~dirty)
   in
   t.reclaimer <- Some reclaimer;

@@ -35,6 +35,7 @@ type counters = {
 }
 
 val create :
+  ?trace:Adios_trace.Sink.t ->
   Adios_engine.Sim.t ->
   Config.t ->
   App.t ->
@@ -43,7 +44,13 @@ val create :
 (** Build the node: arena (populated via the app's [build]), pager warmed
     to steady state, NICs and links, buffer pool, reclaimer, dispatcher
     and worker processes. [on_reply] fires at the load generator when a
-    reply packet lands (its hardware RX timestamp is [Request.done_at]). *)
+    reply packet lands (its hardware RX timestamp is [Request.done_at]).
+
+    [trace] (default {!Adios_trace.Sink.null}, which records nothing and
+    costs one branch per probe) receives the full span stream: request
+    admission/dispatch/run, fault and RDMA intervals, TX, reclaim and
+    stall events. Recording never blocks or consults the RNG, so enabling
+    it does not perturb the simulation. *)
 
 val receive : t -> rx_at:int -> Request.t -> unit
 (** Deliver a client request packet (wired to the inbound raw-Ethernet
@@ -73,3 +80,12 @@ val worker_outstanding : t -> int array
 
 val prefetch_stats : t -> Adios_mem.Prefetcher.stats
 (** Prefetch engine accounting (issued / useful / wasted). *)
+
+val pending_depth : t -> int
+(** Requests sitting in the central queue right now (gauge). *)
+
+val ready_backlog : t -> int
+(** Entries across all per-worker ready + local queues (gauge). *)
+
+val busy_workers : t -> int
+(** Workers currently not idle (gauge). *)

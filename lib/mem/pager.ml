@@ -14,6 +14,8 @@ type t = {
   mutable inflight : int;
   waiters : (int, (unit -> unit) list) Hashtbl.t;
   frame_waiters : (unit -> unit) Queue.t;
+  mutable trace : Adios_trace.Sink.t;
+  mutable trace_now : unit -> int;
 }
 
 let create ~pages ~capacity =
@@ -34,7 +36,13 @@ let create ~pages ~capacity =
     inflight = 0;
     waiters = Hashtbl.create 64;
     frame_waiters = Queue.create ();
+    trace = Adios_trace.Sink.null;
+    trace_now = (fun () -> 0);
   }
+
+let attach_trace t sink ~now =
+  t.trace <- sink;
+  t.trace_now <- now
 
 let pages t = t.pages
 let capacity t = t.capacity
@@ -114,6 +122,9 @@ let pick_victim t =
 
 let evict t page =
   if state t page <> Present then invalid_arg "Pager.evict: not present";
+  Adios_trace.Sink.emit t.trace ~ts:(t.trace_now ())
+    ~kind:Adios_trace.Event.Evict ~req:Adios_trace.Event.none
+    ~worker:Adios_trace.Event.reclaimer_actor ~page;
   let slot = t.slot_of.(page) in
   t.ring.(slot) <- -1;
   t.slot_of.(page) <- -1;

@@ -20,6 +20,10 @@ val create : pages:int -> capacity:int -> t
 (** Table for [pages] pages, of which at most [capacity] are resident.
     All pages start [Remote]. *)
 
+val attach_trace : t -> Adios_trace.Sink.t -> now:(unit -> int) -> unit
+(** Route an [Evict] trace event through [sink] for every {!evict},
+    timestamped with [now] (the pager itself has no clock). *)
+
 val pages : t -> int
 val capacity : t -> int
 

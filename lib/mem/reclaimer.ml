@@ -28,6 +28,7 @@ type t = {
   mutable evictions : int;
   mutable running : bool; (* eviction loop active (wakeup mode) *)
   mutable stopped : bool;
+  trace : Adios_trace.Sink.t;
 }
 
 let free_fraction t =
@@ -43,9 +44,16 @@ let low t = (not (fits t)) && free_fraction t < t.config.low_watermark
 let below_high t =
   (not (fits t)) && free_fraction t < t.config.high_watermark
 
+let emit t kind =
+  Adios_trace.Sink.emit t.trace
+    ~ts:(Adios_engine.Sim.now t.sim)
+    ~kind ~req:Adios_trace.Event.reclaimer_actor
+    ~worker:Adios_trace.Event.reclaimer_actor ~page:Adios_trace.Event.none
+
 (* Evict until the high watermark is restored; runs in process context
    and charges per-page CPU cost. *)
 let evict_until_high t =
+  emit t Adios_trace.Event.Reclaim_begin;
   let continue = ref true in
   while !continue && below_high t do
     match Pager.pick_victim t.pager with
@@ -58,9 +66,10 @@ let evict_until_high t =
         t.evictions <- t.evictions + 1;
         t.evict_page ~page ~dirty
       end
-  done
+  done;
+  emit t Adios_trace.Event.Reclaim_end
 
-let start sim pager mode config ~evict_page =
+let start ?(trace = Adios_trace.Sink.null) sim pager mode config ~evict_page =
   let t =
     {
       sim;
@@ -71,6 +80,7 @@ let start sim pager mode config ~evict_page =
       evictions = 0;
       running = false;
       stopped = false;
+      trace;
     }
   in
   (match mode with

@@ -23,6 +23,7 @@ val default_config : config
 type t
 
 val start :
+  ?trace:Adios_trace.Sink.t ->
   Adios_engine.Sim.t ->
   Pager.t ->
   mode ->
@@ -30,7 +31,8 @@ val start :
   evict_page:(page:int -> dirty:bool -> unit) ->
   t
 (** Launch the reclaimer. [evict_page] runs after each eviction so the
-    runtime can post the RDMA WRITE-back of dirty pages. *)
+    runtime can post the RDMA WRITE-back of dirty pages. [trace]
+    receives a [Reclaim_begin]/[Reclaim_end] span per eviction batch. *)
 
 val trigger : t -> unit
 (** Memory-pressure nudge from the fault path; no-op in proactive mode

@@ -40,9 +40,11 @@ and 'a t = {
   mutable posted : int;
   mutable completed : int;
   mutable read_bytes : int;
+  trace : Adios_trace.Sink.t;
 }
 
-let create sim ~rx_link ~tx_link ~wqe_overhead_cycles ~base_latency_cycles () =
+let create ?(trace = Adios_trace.Sink.null) sim ~rx_link ~tx_link
+    ~wqe_overhead_cycles ~base_latency_cycles () =
   {
     sim;
     wqe_overhead = wqe_overhead_cycles;
@@ -54,6 +56,7 @@ let create sim ~rx_link ~tx_link ~wqe_overhead_cycles ~base_latency_cycles () =
     posted = 0;
     completed = 0;
     read_bytes = 0;
+    trace;
   }
 
 let create_qp nic ~depth =
@@ -118,6 +121,10 @@ let rec kick nic engine =
                 nic.completed <- nic.completed + 1;
                 if wr.opcode = Verbs.Read then
                   nic.read_bytes <- nic.read_bytes + wr.bytes;
+                Adios_trace.Sink.emit nic.trace
+                  ~ts:(Adios_engine.Sim.now nic.sim)
+                  ~kind:Adios_trace.Event.Cqe ~req:Adios_trace.Event.none
+                  ~worker:qp.qp_id ~page:wr.wr_id;
                 Verbs.Cq.push wr.cq
                   {
                     Verbs.wr_id = wr.wr_id;
@@ -153,6 +160,10 @@ let post qp ~opcode ~bytes ~user ~cq =
     nic.next_wr_id <- nic.next_wr_id + 1;
     nic.posted <- nic.posted + 1;
     qp.outstanding <- qp.outstanding + 1;
+    Adios_trace.Sink.emit nic.trace
+      ~ts:(Adios_engine.Sim.now nic.sim)
+      ~kind:Adios_trace.Event.Wqe_post ~req:Adios_trace.Event.none
+      ~worker:qp.qp_id ~page:nic.next_wr_id;
     let qp_seq = qp.next_seq in
     qp.next_seq <- qp.next_seq + 1;
     Queue.push

@@ -15,6 +15,7 @@ type 'a t
 type 'a qp
 
 val create :
+  ?trace:Adios_trace.Sink.t ->
   Adios_engine.Sim.t ->
   rx_link:Link.t ->
   tx_link:Link.t ->
@@ -24,7 +25,9 @@ val create :
   'a t
 (** NIC over the two directed links. [wqe_overhead_cycles] is the
     per-work-request engine cost (doorbell + WQE fetch + DMA setup);
-    [base_latency_cycles] the wire-to-completion delay. *)
+    [base_latency_cycles] the wire-to-completion delay. [trace]
+    receives a [Wqe_post]/[Cqe] event pair per work request (the QP id
+    in the worker field, the WR id in the page field). *)
 
 val create_qp : 'a t -> depth:int -> 'a qp
 (** New QP accepting at most [depth] outstanding work requests. *)

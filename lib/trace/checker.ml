@@ -1,0 +1,240 @@
+type report = {
+  events : int;
+  enqueued : int;
+  dropped : int;
+  completed : int;
+  tx_reaped : int;
+  faults : int;
+  coalesced : int;
+  rdma_issued : int;
+  rdma_completed : int;
+  wqe_posted : int;
+  cqe_delivered : int;
+  evictions : int;
+  preemptions : int;
+  stalls : int;
+  open_rdma : int;
+  open_tx : int;
+  errors : string list;
+}
+
+let max_errors = 50
+
+type fault_interval = { start_ts : int; mutable satisfied : bool }
+
+let check ?(strict = true) events =
+  let errors = ref [] and n_errors = ref 0 in
+  let error fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr n_errors;
+        if !n_errors <= max_errors then errors := msg :: !errors)
+      fmt
+  in
+  let enqueued = ref 0
+  and dropped = ref 0
+  and completed = ref 0
+  and tx_reaped = ref 0
+  and faults = ref 0
+  and coalesced = ref 0
+  and rdma_issued = ref 0
+  and rdma_completed = ref 0
+  and wqe_posted = ref 0
+  and cqe_delivered = ref 0
+  and evictions = ref 0
+  and preemptions = ref 0
+  and stalls = ref 0
+  and count = ref 0 in
+  (* per-worker Run_begin/Run_end alternation *)
+  let run_open : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let worker_seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* per-(req,page) open fault intervals, plus a page index so an
+     Rdma_complete can mark every fault it satisfies *)
+  let fault_open : (int * int, fault_interval list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let faults_on_page : (int, fault_interval list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  (* outstanding page-level RDMA ops and NIC-level WQEs *)
+  let rdma_open : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let wqe_open : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let tx_open : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let req_seen : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let last_ts = ref min_int in
+  List.iter
+    (fun (e : Event.t) ->
+      incr count;
+      if e.ts < !last_ts then
+        error "t=%d: timestamp regression (%s after t=%d)" e.ts
+          (Event.kind_name e.kind) !last_ts;
+      last_ts := e.ts;
+      match e.kind with
+      | Event.Req_enqueue ->
+        incr enqueued;
+        if Hashtbl.mem req_seen e.req then
+          error "t=%d: duplicate Req_enqueue for r%d" e.ts e.req;
+        Hashtbl.replace req_seen e.req ()
+      | Event.Req_drop_queue | Event.Req_drop_buffer -> incr dropped
+      | Event.Dispatch -> ()
+      | Event.Run_begin ->
+        Hashtbl.replace worker_seen e.worker ();
+        (match Hashtbl.find_opt run_open e.worker with
+        | Some r ->
+          error "t=%d: worker %d begins r%d while r%d is still running" e.ts
+            e.worker e.req r
+        | None -> ());
+        Hashtbl.replace run_open e.worker e.req
+      | Event.Run_end -> (
+        match Hashtbl.find_opt run_open e.worker with
+        | Some r ->
+          if r <> e.req then
+            error "t=%d: worker %d ends r%d but r%d was running" e.ts e.worker
+              e.req r;
+          Hashtbl.remove run_open e.worker
+        | None ->
+          if strict || Hashtbl.mem worker_seen e.worker then
+            error "t=%d: worker %d ends r%d with no open run span" e.ts
+              e.worker e.req)
+      | Event.Fault_begin ->
+        incr faults;
+        let iv = { start_ts = e.ts; satisfied = false } in
+        let key = (e.req, e.page) in
+        let stack =
+          match Hashtbl.find_opt fault_open key with Some s -> s | None -> []
+        in
+        Hashtbl.replace fault_open key (iv :: stack);
+        let on_page =
+          match Hashtbl.find_opt faults_on_page e.page with
+          | Some l -> l
+          | None -> []
+        in
+        Hashtbl.replace faults_on_page e.page (iv :: on_page)
+      | Event.Fault_end -> (
+        let key = (e.req, e.page) in
+        match Hashtbl.find_opt fault_open key with
+        | Some (iv :: rest) ->
+          if rest = [] then Hashtbl.remove fault_open key
+          else Hashtbl.replace fault_open key rest;
+          (match Hashtbl.find_opt faults_on_page e.page with
+          | Some l ->
+            Hashtbl.replace faults_on_page e.page
+              (List.filter (fun x -> x != iv) l)
+          | None -> ());
+          if not iv.satisfied then
+            error
+              "t=%d: fault on r%d/p%d (begun t=%d) ended without an RDMA \
+               completion or coalesce"
+              e.ts e.req e.page iv.start_ts
+        | Some [] | None ->
+          if strict then
+            error "t=%d: Fault_end for r%d/p%d without Fault_begin" e.ts e.req
+              e.page)
+      | Event.Coalesce -> (
+        incr coalesced;
+        match Hashtbl.find_opt fault_open (e.req, e.page) with
+        | Some (iv :: _) -> iv.satisfied <- true
+        | Some [] | None -> ())
+      | Event.Rdma_issue ->
+        incr rdma_issued;
+        let n =
+          match Hashtbl.find_opt rdma_open e.page with Some n -> n | None -> 0
+        in
+        Hashtbl.replace rdma_open e.page (n + 1)
+      | Event.Rdma_complete -> (
+        incr rdma_completed;
+        (match Hashtbl.find_opt faults_on_page e.page with
+        | Some l -> List.iter (fun iv -> iv.satisfied <- true) l
+        | None -> ());
+        match Hashtbl.find_opt rdma_open e.page with
+        | Some n when n > 0 ->
+          if n = 1 then Hashtbl.remove rdma_open e.page
+          else Hashtbl.replace rdma_open e.page (n - 1)
+        | Some _ | None ->
+          if strict then
+            error "t=%d: Rdma_complete for p%d without Rdma_issue" e.ts e.page)
+      | Event.Wqe_post ->
+        incr wqe_posted;
+        if Hashtbl.mem wqe_open e.page then
+          error "t=%d: duplicate WQE id %d" e.ts e.page;
+        Hashtbl.replace wqe_open e.page ()
+      | Event.Cqe ->
+        incr cqe_delivered;
+        if Hashtbl.mem wqe_open e.page then Hashtbl.remove wqe_open e.page
+        else if strict then
+          error "t=%d: CQE for WQE id %d that was never posted" e.ts e.page
+      | Event.Tx_submit ->
+        incr completed;
+        if strict && not (Hashtbl.mem req_seen e.req) then
+          error "t=%d: reply for r%d which was never enqueued" e.ts e.req;
+        if Hashtbl.mem tx_open e.req then
+          error "t=%d: duplicate Tx_submit for r%d" e.ts e.req;
+        Hashtbl.replace tx_open e.req ()
+      | Event.Tx_complete ->
+        incr tx_reaped;
+        if Hashtbl.mem tx_open e.req then Hashtbl.remove tx_open e.req
+        else if strict then
+          error "t=%d: Tx_complete for r%d without Tx_submit" e.ts e.req
+      | Event.Evict -> incr evictions
+      | Event.Reclaim_begin | Event.Reclaim_end -> ()
+      | Event.Preempt -> incr preemptions
+      | Event.Stall_qp | Event.Stall_frame | Event.Stall_buffer -> incr stalls)
+    events;
+  if strict then begin
+    Hashtbl.iter
+      (fun w r -> error "end of trace: worker %d still running r%d" w r)
+      run_open;
+    Hashtbl.iter
+      (fun (r, p) stack ->
+        List.iter
+          (fun iv ->
+            error "end of trace: fault on r%d/p%d (begun t=%d) never ended" r p
+              iv.start_ts)
+          stack)
+      fault_open;
+    (* conservation, from the trace alone: every admitted request must
+       have produced exactly one reply *)
+    if !enqueued <> !completed then
+      error "conservation violated: %d requests enqueued but %d replied"
+        !enqueued !completed;
+    if !rdma_issued <> !wqe_posted then
+      error "RDMA issue/WQE mismatch: %d page-level issues, %d WQEs"
+        !rdma_issued !wqe_posted
+  end;
+  if !n_errors > max_errors then
+    errors := Printf.sprintf "... and %d more errors" (!n_errors - max_errors)
+              :: !errors;
+  {
+    events = !count;
+    enqueued = !enqueued;
+    dropped = !dropped;
+    completed = !completed;
+    tx_reaped = !tx_reaped;
+    faults = !faults;
+    coalesced = !coalesced;
+    rdma_issued = !rdma_issued;
+    rdma_completed = !rdma_completed;
+    wqe_posted = !wqe_posted;
+    cqe_delivered = !cqe_delivered;
+    evictions = !evictions;
+    preemptions = !preemptions;
+    stalls = !stalls;
+    open_rdma = Hashtbl.fold (fun _ n acc -> acc + n) rdma_open 0;
+    open_tx = Hashtbl.length tx_open;
+    errors = List.rev !errors;
+  }
+
+let ok r = r.errors = []
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>%d events: %d enqueued, %d dropped, %d replied (%d reaped)@,\
+     %d faults (%d coalesced), rdma %d/%d (%d open), wqe %d/%d@,\
+     %d evictions, %d preemptions, %d stalls, %d open tx@,\
+     %s@]"
+    r.events r.enqueued r.dropped r.completed r.tx_reaped r.faults r.coalesced
+    r.rdma_issued r.rdma_completed r.open_rdma r.wqe_posted r.cqe_delivered
+    r.evictions r.preemptions r.stalls r.open_tx
+    (match r.errors with
+    | [] -> "invariants: OK"
+    | l -> Printf.sprintf "invariants: %d VIOLATIONS" (List.length l))

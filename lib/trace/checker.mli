@@ -1,0 +1,50 @@
+(** Trace-derived invariant checking.
+
+    A post-run pass over the event stream that re-derives correctness
+    properties of the simulated system {e from the trace alone}:
+
+    - worker spans nest: per worker, [Run_begin]/[Run_end] strictly
+      alternate and end the request they began;
+    - every [Fault_begin] is closed by a [Fault_end] and, in between,
+      saw either an [Rdma_complete] for its page or a [Coalesce] — no
+      fault resolves out of thin air;
+    - RDMA issues/completions and NIC WQEs/CQEs pair up (completions
+      never outnumber issues; every page-level issue reached the NIC);
+    - reply TX submissions are unique per request and precede their
+      completions;
+    - request conservation: every enqueued request produced exactly one
+      reply (strict mode).
+
+    With [strict = false] — for traces truncated by the ring sink —
+    pair-matching tolerates ends whose begins were evicted, and
+    end-of-trace/conservation checks are skipped. *)
+
+type report = {
+  events : int;
+  enqueued : int;  (** [Req_enqueue] count (admitted requests) *)
+  dropped : int;  (** queue + buffer drops *)
+  completed : int;  (** [Tx_submit] count (replies sent) *)
+  tx_reaped : int;  (** [Tx_complete] count *)
+  faults : int;
+  coalesced : int;
+  rdma_issued : int;
+  rdma_completed : int;
+  wqe_posted : int;
+  cqe_delivered : int;
+  evictions : int;
+  preemptions : int;
+  stalls : int;
+  open_rdma : int;  (** issues outstanding at end of trace (allowed:
+                        prefetches and write-backs may be in flight) *)
+  open_tx : int;  (** TX completions pending at end of trace *)
+  errors : string list;  (** invariant violations, oldest first *)
+}
+
+val check : ?strict:bool -> Event.t list -> report
+(** Scan a chronological event list. [strict] defaults to [true]; pass
+    [false] for truncated traces. *)
+
+val ok : report -> bool
+(** No violations found. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,195 @@
+(* Chrome trace_event exporter.
+
+   Synchronous B/E spans carry worker occupancy (one track per worker,
+   plus the dispatcher and the reclaimer); everything that outlives its
+   worker's attention — request lifetimes, page faults under yield-based
+   handling, RDMA operations, reply transmissions — is an async b/e pair
+   so overlapping intervals never have to nest. *)
+
+let tid_dispatcher = 0
+let tid_nic = 1000
+let tid_reclaimer = 1001
+let worker_tid w = w + 1
+
+let tid_of (e : Event.t) =
+  if e.worker = Event.reclaimer_actor then tid_reclaimer
+  else if e.worker >= 0 then worker_tid e.worker
+  else tid_dispatcher
+
+let to_json ?(cycles_per_us = 2000) events =
+  let buf = Buffer.create (64 * (List.length events + 16)) in
+  let tus ts = float_of_int ts /. float_of_int cycles_per_us in
+  let first = ref true in
+  let raw line =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf line
+  in
+  let args_of (e : Event.t) =
+    let parts = [] in
+    let parts = if e.page >= 0 then [ Printf.sprintf "\"page\":%d" e.page ]
+      else parts in
+    let parts =
+      if e.req >= 0 then Printf.sprintf "\"req\":%d" e.req :: parts else parts
+    in
+    match parts with
+    | [] -> ""
+    | l -> Printf.sprintf ",\"args\":{%s}" (String.concat "," l)
+  in
+  let sync e ~name ~cat ~ph =
+    raw
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.4f,\"pid\":1,\"tid\":%d%s}"
+         name cat ph (tus e.Event.ts) (tid_of e) (args_of e))
+  in
+  let instant ?(tid = -1) e ~name ~cat =
+    let tid = if tid >= 0 then tid else tid_of e in
+    raw
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.4f,\"pid\":1,\"tid\":%d%s}"
+         name cat (tus e.Event.ts) tid (args_of e))
+  in
+  let async e ~name ~cat ~ph ~id =
+    raw
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"id\":%d,\"ts\":%.4f,\"pid\":1,\"tid\":%d%s}"
+         name cat ph id (tus e.Event.ts) (tid_of e) (args_of e))
+  in
+  (* stable fresh ids for async pairs that have no naturally unique key *)
+  let next_id = ref 0 in
+  let fresh () =
+    incr next_id;
+    !next_id
+  in
+  let fault_open : (int * int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let rdma_open : (int, (int * string) Queue.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  (* name the tracks that appear in this trace *)
+  let tids = Hashtbl.create 16 in
+  Hashtbl.replace tids tid_dispatcher "dispatcher";
+  List.iter
+    (fun (e : Event.t) ->
+      (match e.kind with
+      | Event.Wqe_post | Event.Cqe -> Hashtbl.replace tids tid_nic "nic"
+      | _ -> ());
+      if e.worker = Event.reclaimer_actor then
+        Hashtbl.replace tids tid_reclaimer "reclaimer"
+      else if e.worker >= 0 then
+        Hashtbl.replace tids (worker_tid e.worker)
+          (Printf.sprintf "worker %d" e.worker))
+    events;
+  raw
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"adios compute node\"}}";
+  Hashtbl.fold (fun tid name acc -> (tid, name) :: acc) tids []
+  |> List.sort compare
+  |> List.iter (fun (tid, name) ->
+         raw
+           (Printf.sprintf
+              "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+              tid name);
+         raw
+           (Printf.sprintf
+              "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"sort_index\":%d}}"
+              tid tid));
+  List.iter
+    (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Req_enqueue ->
+        instant e ~tid:tid_dispatcher ~name:"enqueue" ~cat:"queue";
+        async e ~name:(Printf.sprintf "r%d" e.req) ~cat:"request" ~ph:"b"
+          ~id:e.req
+      | Event.Req_drop_queue ->
+        instant e ~tid:tid_dispatcher ~name:"drop(queue)" ~cat:"queue"
+      | Event.Req_drop_buffer ->
+        instant e ~tid:tid_dispatcher ~name:"drop(buffer)" ~cat:"queue"
+      | Event.Dispatch ->
+        instant e ~name:(Printf.sprintf "dispatch r%d" e.req) ~cat:"queue"
+      | Event.Run_begin ->
+        sync e ~name:(Printf.sprintf "r%d" e.req) ~cat:"run" ~ph:"B"
+      | Event.Run_end ->
+        sync e ~name:(Printf.sprintf "r%d" e.req) ~cat:"run" ~ph:"E"
+      | Event.Fault_begin ->
+        let id = fresh () in
+        let key = (e.req, e.page) in
+        let stack =
+          match Hashtbl.find_opt fault_open key with Some s -> s | None -> []
+        in
+        Hashtbl.replace fault_open key (id :: stack);
+        async e ~name:(Printf.sprintf "fault p%d" e.page) ~cat:"fault" ~ph:"b"
+          ~id
+      | Event.Fault_end ->
+        let key = (e.req, e.page) in
+        let id =
+          match Hashtbl.find_opt fault_open key with
+          | Some (id :: rest) ->
+            Hashtbl.replace fault_open key rest;
+            id
+          | Some [] | None -> fresh ()
+        in
+        async e ~name:(Printf.sprintf "fault p%d" e.page) ~cat:"fault" ~ph:"e"
+          ~id
+      | Event.Coalesce ->
+        instant e ~name:(Printf.sprintf "coalesce p%d" e.page) ~cat:"fault"
+      | Event.Rdma_issue ->
+        let id = fresh () in
+        let name =
+          if e.req = Event.reclaimer_actor then
+            Printf.sprintf "writeback p%d" e.page
+          else Printf.sprintf "fetch p%d" e.page
+        in
+        let q =
+          match Hashtbl.find_opt rdma_open e.page with
+          | Some q -> q
+          | None ->
+            let q = Queue.create () in
+            Hashtbl.replace rdma_open e.page q;
+            q
+        in
+        Queue.push (id, name) q;
+        async e ~name ~cat:"rdma" ~ph:"b" ~id
+      | Event.Rdma_complete ->
+        let id, name =
+          match Hashtbl.find_opt rdma_open e.page with
+          | Some q when not (Queue.is_empty q) -> Queue.pop q
+          | Some _ | None -> (fresh (), Printf.sprintf "fetch p%d" e.page)
+        in
+        async e ~name ~cat:"rdma" ~ph:"e" ~id
+      | Event.Wqe_post ->
+        raw
+          (Printf.sprintf
+             "{\"name\":\"qp%d\",\"cat\":\"nic\",\"ph\":\"b\",\"id\":%d,\"ts\":%.4f,\"pid\":1,\"tid\":%d}"
+             e.worker e.page (tus e.ts) tid_nic)
+      | Event.Cqe ->
+        raw
+          (Printf.sprintf
+             "{\"name\":\"qp%d\",\"cat\":\"nic\",\"ph\":\"e\",\"id\":%d,\"ts\":%.4f,\"pid\":1,\"tid\":%d}"
+             e.worker e.page (tus e.ts) tid_nic)
+      | Event.Tx_submit ->
+        async e ~name:(Printf.sprintf "r%d" e.req) ~cat:"request" ~ph:"e"
+          ~id:e.req;
+        async e ~name:(Printf.sprintf "tx r%d" e.req) ~cat:"tx" ~ph:"b"
+          ~id:e.req
+      | Event.Tx_complete ->
+        async e ~name:(Printf.sprintf "tx r%d" e.req) ~cat:"tx" ~ph:"e"
+          ~id:e.req
+      | Event.Evict ->
+        instant e ~tid:tid_reclaimer ~name:(Printf.sprintf "evict p%d" e.page)
+          ~cat:"reclaim"
+      | Event.Reclaim_begin ->
+        sync e ~name:"reclaim" ~cat:"reclaim" ~ph:"B"
+      | Event.Reclaim_end -> sync e ~name:"reclaim" ~cat:"reclaim" ~ph:"E"
+      | Event.Preempt ->
+        instant e ~name:(Printf.sprintf "preempt r%d" e.req) ~cat:"sched"
+      | Event.Stall_qp -> instant e ~name:"stall(qp)" ~cat:"stall"
+      | Event.Stall_frame -> instant e ~name:"stall(frame)" ~cat:"stall"
+      | Event.Stall_buffer -> instant e ~name:"stall(buffer)" ~cat:"stall")
+    events;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write ?cycles_per_us ~path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ?cycles_per_us events))

@@ -1,0 +1,16 @@
+(** Chrome [trace_event] JSON exporter.
+
+    Produces a JSON object loadable in [chrome://tracing] or Perfetto:
+    one synchronous track per worker (request execution spans, stall and
+    dispatch markers), plus dispatcher, NIC and reclaimer tracks.
+    Intervals that outlive a worker's attention — request lifetimes,
+    yield-mode page faults, RDMA operations, reply TX — are emitted as
+    async [b]/[e] pairs, which the viewers render in their own lanes
+    without nesting constraints. *)
+
+val to_json : ?cycles_per_us:int -> Event.t list -> string
+(** Render events (chronological order) as a Chrome trace. Timestamps
+    are converted to microseconds using [cycles_per_us] (default: the
+    simulator's 2 GHz clock). *)
+
+val write : ?cycles_per_us:int -> path:string -> Event.t list -> unit

@@ -1,0 +1,65 @@
+type ring = {
+  buf : Event.t array;
+  cap : int;
+  mutable start : int; (* index of the oldest event *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+type t = Off | On of ring
+
+let null = Off
+
+let dummy =
+  {
+    Event.ts = 0;
+    kind = Event.Dispatch;
+    req = Event.none;
+    worker = Event.none;
+    page = Event.none;
+  }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
+  On { buf = Array.make capacity dummy; cap = capacity; start = 0; len = 0;
+       dropped = 0 }
+
+let emit t ~ts ~kind ~req ~worker ~page =
+  match t with
+  | Off -> ()
+  | On r ->
+    let ev = { Event.ts; kind; req; worker; page } in
+    if r.len < r.cap then begin
+      r.buf.((r.start + r.len) mod r.cap) <- ev;
+      r.len <- r.len + 1
+    end
+    else begin
+      (* full: overwrite the oldest so the tail of the run survives *)
+      r.buf.(r.start) <- ev;
+      r.start <- (r.start + 1) mod r.cap;
+      r.dropped <- r.dropped + 1
+    end
+
+let enabled = function Off -> false | On _ -> true
+let length = function Off -> 0 | On r -> r.len
+let capacity = function Off -> 0 | On r -> r.cap
+let dropped = function Off -> 0 | On r -> r.dropped
+let truncated t = dropped t > 0
+
+let to_list = function
+  | Off -> []
+  | On r -> List.init r.len (fun i -> r.buf.((r.start + i) mod r.cap))
+
+let iter f = function
+  | Off -> ()
+  | On r ->
+    for i = 0 to r.len - 1 do
+      f r.buf.((r.start + i) mod r.cap)
+    done
+
+let clear = function
+  | Off -> ()
+  | On r ->
+    r.start <- 0;
+    r.len <- 0;
+    r.dropped <- 0

@@ -1,0 +1,42 @@
+(** Bounded-memory event sink.
+
+    A sink is either [Off] — the compile-away no-op, so an
+    instrumentation site costs a single branch and no allocation — or a
+    fixed-capacity ring buffer that keeps the most recent events,
+    overwriting the oldest once full (the head of a long run is the
+    least interesting part; the knee and the tail survive).
+
+    The ring records how many events it overwrote, so consumers (the
+    {!Checker}, the {!Chrome} exporter) know whether they are looking at
+    a truncated trace. *)
+
+type t
+
+val null : t
+(** The no-op sink: {!emit} returns after one branch. *)
+
+val create : capacity:int -> t
+(** Ring sink holding at most [capacity] events.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val emit : t -> ts:int -> kind:Event.kind -> req:int -> worker:int ->
+  page:int -> unit
+(** Record one event (timestamp in simulation cycles). Pass
+    {!Event.none} for identifiers that do not apply. *)
+
+val enabled : t -> bool
+val length : t -> int
+val capacity : t -> int
+
+val dropped : t -> int
+(** Events overwritten because the ring was full. *)
+
+val truncated : t -> bool
+(** [dropped t > 0]: the trace is missing its oldest events. *)
+
+val to_list : t -> Event.t list
+(** Buffered events, oldest first. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+
+val clear : t -> unit
