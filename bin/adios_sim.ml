@@ -78,8 +78,22 @@ let dispatch_conv =
   Cmdliner.Arg.conv (parse, print)
 
 let run system app load requests local_ratio dispatch prefetch no_delegation
-    seed show_cdf show_breakdown trace_file timeseries_file trace_cap =
+    seed show_cdf show_breakdown trace_file timeseries_file trace_cap
+    fault_drop fault_spike fault_stall fault_throttle fault_seed
+    fetch_timeout_us fetch_retries =
   let cfg = Config.default system in
+  let fault =
+    {
+      Adios_fault.Injector.none with
+      Adios_fault.Injector.drop = fault_drop;
+      spike = fault_spike;
+      stall = fault_stall;
+      stall_cycles = (if fault_stall > 0. then Clock.of_us 20. else 0);
+      throttle = fault_throttle;
+      seed = fault_seed;
+    }
+  in
+  let faulty = Adios_fault.Injector.enabled fault in
   let cfg =
     {
       cfg with
@@ -90,6 +104,12 @@ let run system app load requests local_ratio dispatch prefetch no_delegation
         (if prefetch > 0 then Config.Stride prefetch else Config.No_prefetch);
       tx_mode =
         (if no_delegation then Config.Tx_sync_spin else cfg.Config.tx_mode);
+      fault;
+      (* recovery is armed only on a faulty fabric, keeping clean runs
+         byte-identical to builds without the injector *)
+      fetch_timeout =
+        (if faulty then Clock.of_us fetch_timeout_us else 0);
+      fetch_retries;
     }
   in
   let trace =
@@ -240,6 +260,73 @@ let trace_cap_arg =
            events are overwritten (the trace is truncated, not the run \
            aborted).")
 
+let probability =
+  let parse s =
+    match float_of_string_opt s with
+    | Some p when p >= 0. && p <= 1. -> Ok p
+    | Some _ -> Error (`Msg "must be in [0, 1]")
+    | None -> Error (`Msg ("not a number: " ^ s))
+  in
+  Cmdliner.Arg.conv (parse, Format.pp_print_float)
+
+let fault_drop_arg =
+  Arg.(
+    value & opt probability 0.
+    & info [ "fault-drop" ] ~docv:"P"
+        ~doc:
+          "Drop each READ completion with probability P (the fetch is \
+           recovered by timeout + repost; see --fetch-timeout-us).")
+
+let fault_spike_arg =
+  Arg.(
+    value & opt probability 0.
+    & info [ "fault-spike" ] ~docv:"P"
+        ~doc:
+          "Inflate each NIC completion's latency with probability P by a \
+           lognormal extra delay.")
+
+let fault_stall_arg =
+  Arg.(
+    value & opt probability 0.
+    & info [ "fault-stall" ] ~docv:"P"
+        ~doc:
+          "On each completion, with probability P stall that QP: its \
+           completions are delayed until the stall window passes.")
+
+let fault_throttle_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "fault-throttle" ] ~docv:"F"
+        ~doc:
+          "Slow the memory node: stretch every fetch-direction \
+           serialization by a factor of (1 + F).")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the injector's private RNG; the same seed and schedule \
+           replay the same faults byte-identically, independent of the \
+           workload seed.")
+
+let fetch_timeout_arg =
+  Arg.(
+    value & opt float 50.
+    & info [ "fetch-timeout-us" ] ~docv:"US"
+        ~doc:
+          "Declare a page fetch lost after US microseconds without a \
+           completion and repost it (doubling per retry). Armed only when \
+           a fault flag is set.")
+
+let fetch_retries_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "fetch-retries" ] ~docv:"N"
+        ~doc:
+          "Reposts allowed per fetch before the request gives up and \
+           replies with an error status.")
+
 let cmd =
   let doc =
     "run one memory-disaggregation experiment point (Adios reproduction)"
@@ -249,6 +336,9 @@ let cmd =
     Term.(
       const run $ system_arg $ app_arg $ load_arg $ requests_arg $ ratio_arg
       $ dispatch_arg $ prefetch_arg $ no_delegation_arg $ seed_arg $ cdf_arg
-      $ breakdown_arg $ trace_arg $ timeseries_arg $ trace_cap_arg)
+      $ breakdown_arg $ trace_arg $ timeseries_arg $ trace_cap_arg
+      $ fault_drop_arg $ fault_spike_arg $ fault_stall_arg
+      $ fault_throttle_arg $ fault_seed_arg $ fetch_timeout_arg
+      $ fetch_retries_arg)
 
 let () = exit (Cmd.eval cmd)

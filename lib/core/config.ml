@@ -41,6 +41,9 @@ type t = {
   reclaim : Adios_mem.Reclaimer.mode;
   reclaim_config : Adios_mem.Reclaimer.config;
   seed : int;
+  fault : Adios_fault.Injector.config;
+  fetch_timeout : int;
+  fetch_retries : int;
 }
 
 let default system =
@@ -60,4 +63,7 @@ let default system =
        else Adios_mem.Reclaimer.Wakeup);
     reclaim_config = Adios_mem.Reclaimer.default_config;
     seed = 42;
+    fault = Adios_fault.Injector.none;
+    fetch_timeout = 0;
+    fetch_retries = 3;
   }

@@ -63,6 +63,16 @@ type t = {
   reclaim : Adios_mem.Reclaimer.mode;
   reclaim_config : Adios_mem.Reclaimer.config;
   seed : int;
+  fault : Adios_fault.Injector.config;
+      (** fabric anomaly schedule ({!Adios_fault.Injector.none} = clean
+          fabric, the byte-identical default) *)
+  fetch_timeout : int;
+      (** cycles before an unanswered page fetch is declared lost and
+          reposted; 0 disables recovery (a lost completion then wedges —
+          only safe with a clean fabric). Doubles per retry up to 64x. *)
+  fetch_retries : int;
+      (** reposts allowed per fetch before the request completes with an
+          error reply *)
 }
 
 val default : system -> t

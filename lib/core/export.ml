@@ -34,6 +34,14 @@ let fields : (string * (Runner.result -> string)) list =
     ("prefetch_issued", prefetch (fun (i, _, _) -> i));
     ("prefetch_useful", prefetch (fun (_, u, _) -> u));
     ("prefetch_wasted", prefetch (fun (_, _, w) -> w));
+    (* fault-injection columns: appended so clean-fabric CSVs keep the
+       original 23 columns as a stable prefix *)
+    ("errored", fun r -> string_of_int r.Runner.errored);
+    ("fetch_timeouts", fun r -> string_of_int r.Runner.fetch_timeouts);
+    ("fetch_retries", fun r -> string_of_int r.Runner.fetch_retries);
+    ("retries_hwm", fun r -> string_of_int r.Runner.retries_hwm);
+    ("faults_injected", fun r -> string_of_int r.Runner.faults_injected);
+    ("drops_qp", fun r -> string_of_int r.Runner.drops_qp);
   ]
 
 let csv_header = String.concat "," (List.map fst fields)

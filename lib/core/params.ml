@@ -26,6 +26,7 @@ let preempt_fire_cycles = 450
 let rdma_base_latency_cycles = c 3.9
 let wqe_overhead_cycles = 210
 let qp_depth = 128
+let qp_retry_cycles = 200
 let link_gbps = 100.
 let wire_overhead = 0.27
 

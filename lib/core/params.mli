@@ -86,6 +86,10 @@ val wqe_overhead_cycles : int
 val qp_depth : int
 (** Outstanding WR limit per QP. *)
 
+val qp_retry_cycles : int
+(** Back-off before re-attempting a post on a full QP (fault and
+    write-back paths). *)
+
 val link_gbps : float
 (** 100 GbE links everywhere. *)
 

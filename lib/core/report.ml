@@ -162,4 +162,10 @@ let result_line (r : Runner.result) =
     (us r.Runner.e2e.Summary.p99)
     (us r.Runner.e2e.Summary.p999)
     (100. *. r.Runner.rdma_util)
-    r.Runner.faults r.Runner.evictions r.Runner.preemptions r.Runner.qp_stalls
+    r.Runner.faults r.Runner.evictions r.Runner.preemptions r.Runner.qp_stalls;
+  if r.Runner.faults_injected > 0 || r.Runner.fetch_timeouts > 0 then
+    pf
+      "  faults: injected=%d timeouts=%d retries=%d (max/fetch %d) \
+       errored=%d qp_drops=%d\n"
+      r.Runner.faults_injected r.Runner.fetch_timeouts r.Runner.fetch_retries
+      r.Runner.retries_hwm r.Runner.errored r.Runner.drops_qp

@@ -8,6 +8,7 @@ type t = {
   mutable dispatched_at : int;
   mutable done_at : int;
   mutable buffer : int;
+  mutable errored : bool;
   comps : Adios_stats.Breakdown.components;
 }
 
@@ -20,6 +21,7 @@ let make ~id ~spec ~tx_at =
     dispatched_at = 0;
     done_at = 0;
     buffer = -1;
+    errored = false;
     comps = Adios_stats.Breakdown.make ();
   }
 

@@ -16,6 +16,9 @@ type t = {
   mutable dispatched_at : int;  (** left the central queue *)
   mutable done_at : int;  (** reply delivered back to the load generator *)
   mutable buffer : int;  (** unithread buffer id, -1 before admission *)
+  mutable errored : bool;
+      (** the handler was aborted (fetch retries exhausted); the reply
+          carries an error status instead of a result *)
   comps : Adios_stats.Breakdown.components;
 }
 

@@ -34,6 +34,12 @@ type result = {
   completed : int;
   dropped : int;
   buffer_hwm : int;
+  errored : int;
+  fetch_timeouts : int;
+  fetch_retries : int;
+  retries_hwm : int;
+  faults_injected : int;
+  drops_qp : int;
 }
 
 (* The standard gauge set every time-series run records (DESIGN.md's
@@ -73,7 +79,9 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
   let replies = ref 0 and recorded = ref 0 in
   let on_reply (req : Request.t) =
     incr replies;
-    if req.Request.id > warmup then begin
+    (* error replies count toward conservation but would poison the
+       latency statistics: they return early, after the retry budget *)
+    if req.Request.id > warmup && not req.Request.errored then begin
       incr recorded;
       Histogram.record e2e_hist (Request.e2e_latency req);
       let kind = req.Request.spec.Request.kind in
@@ -186,4 +194,10 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
     dropped = drops ();
     buffer_hwm =
       Adios_unithread.Buffer_pool.high_watermark (System.buffers system);
+    errored = counters.System.errored;
+    fetch_timeouts = counters.System.fetch_timeouts;
+    fetch_retries = counters.System.fetch_retries;
+    retries_hwm = counters.System.retries_hwm;
+    faults_injected = System.faults_injected system;
+    drops_qp = counters.System.drops_qp;
   }

@@ -31,6 +31,14 @@ type result = {
   completed : int;
   dropped : int;
   buffer_hwm : int;  (** peak unithread buffers in use *)
+  errored : int;
+      (** replies carrying an error status (fetch retries exhausted);
+          included in [completed] but excluded from latency statistics *)
+  fetch_timeouts : int;  (** page fetches declared lost *)
+  fetch_retries : int;  (** fetches reposted after a timeout *)
+  retries_hwm : int;  (** most reposts any single fetch needed *)
+  faults_injected : int;  (** completions dropped/delayed by the injector *)
+  drops_qp : int;  (** prefetch posts refused by a full QP *)
 }
 
 val run :

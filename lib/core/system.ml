@@ -16,18 +16,29 @@ module Integrator = Adios_stats.Integrator
 module Prefetcher = Adios_mem.Prefetcher
 module Trace_sink = Adios_trace.Sink
 module Trace_event = Adios_trace.Event
+module Injector = Adios_fault.Injector
+
+(* Raised inside a unithread when a page fetch exhausted its retries;
+   caught at the task boundary so the request completes with an error
+   reply instead of wedging its worker. *)
+exception Fetch_failed of int
 
 type counters = {
   mutable admitted : int;
   mutable drops_queue : int;
   mutable drops_buffer : int;
   mutable handled : int;
+  mutable errored : int;
   mutable faults : int;
   mutable coalesced : int;
   mutable qp_stalls : int;
   mutable preemptions : int;
   mutable writeback_stalls : int;
   mutable frame_stalls : int;
+  mutable fetch_timeouts : int;
+  mutable fetch_retries : int;
+  mutable retries_hwm : int;
+  mutable drops_qp : int;
 }
 
 type entry = {
@@ -79,11 +90,15 @@ type t = {
   rng : Rng.t;
   mutable reclaimer : Reclaimer.t option;
   counters : counters;
+  fault : Injector.t option;
   trace : Trace_sink.t;
 }
 
 let counters t = t.counters
 let pager t = t.pager
+
+let faults_injected t =
+  match t.fault with None -> 0 | Some inj -> Injector.injected inj
 
 (* Single tracing entry point: one branch and no allocation when the
    sink is off. *)
@@ -192,12 +207,19 @@ let maybe_prefetch t e (w : worker) page =
         then begin
           Pager.start_fetch t.pager q;
           Memnode.record_read t.memnode ~bytes:page_bytes;
+          (* [live] dies when the fetch times out: a completion the
+             fabric delivered late (or a duplicate) must not install the
+             page a second time *)
+          let live = ref true in
           let ok =
             Nic.post w.qp ~opcode:Verbs.Read ~bytes:page_bytes ~cq:w.fetch_cq
               ~user:(fun () ->
-                Pager.complete_fetch t.pager q;
-                ev t Trace_event.Rdma_complete ~worker:w.wid ~page:q;
-                List.iter (fun f -> f ()) (Pager.take_waiters t.pager q))
+                if !live then begin
+                  live := false;
+                  Pager.complete_fetch t.pager q;
+                  ev t Trace_event.Rdma_complete ~worker:w.wid ~page:q;
+                  List.iter (fun f -> f ()) (Pager.take_waiters t.pager q)
+                end)
           in
           if ok then begin
             incr issued;
@@ -205,12 +227,33 @@ let maybe_prefetch t e (w : worker) page =
               ~page:q;
             Bytes.set t.prefetched q '\001';
             t.prefetch_stats.Prefetcher.issued <-
-              t.prefetch_stats.Prefetcher.issued + 1
+              t.prefetch_stats.Prefetcher.issued + 1;
+            (* a prefetch nobody waits on is not worth retrying: if its
+               completion is lost, just release the frame so demand
+               faults can fetch the page themselves *)
+            if t.cfg.Config.fetch_timeout > 0 then
+              Sim.schedule t.sim ~delay:t.cfg.Config.fetch_timeout (fun () ->
+                  if !live then begin
+                    live := false;
+                    t.counters.fetch_timeouts <-
+                      t.counters.fetch_timeouts + 1;
+                    ev t Trace_event.Fetch_timeout ~worker:w.wid ~page:q;
+                    Pager.abort_fetch t.pager q;
+                    List.iter (fun f -> f ()) (Pager.take_waiters t.pager q);
+                    if Bytes.get t.prefetched q = '\001' then begin
+                      Bytes.set t.prefetched q '\000';
+                      t.prefetch_stats.Prefetcher.wasted <-
+                        t.prefetch_stats.Prefetcher.wasted + 1
+                    end
+                  end)
           end
           else begin
-            (* roll the reservation back; the QP filled under us *)
-            Pager.complete_fetch t.pager q;
-            ignore (Pager.evict t.pager q)
+            (* the QP filled under us: roll the reservation back and
+               wake anyone who coalesced on it in the meantime (this
+               used to drop the reservation silently) *)
+            t.counters.drops_qp <- t.counters.drops_qp + 1;
+            Pager.abort_fetch t.pager q;
+            List.iter (fun f -> f ()) (Pager.take_waiters t.pager q)
           end
         end
       done;
@@ -266,7 +309,7 @@ and fault t e page =
     else if Nic.outstanding w.qp >= t.cfg.Config.qp_depth then begin
       t.counters.qp_stalls <- t.counters.qp_stalls + 1;
       ev t Trace_event.Stall_qp ~req:rid ~worker:wid ~page;
-      Proc.wait 200;
+      Proc.wait Params.qp_retry_cycles;
       prepare ()
     end
     else `Go
@@ -283,44 +326,111 @@ and fault t e page =
     let page_bytes = t.app.App.page_size in
     Memnode.record_read t.memnode ~bytes:page_bytes;
     maybe_prefetch t e w page;
+    (* Recovery protocol. The page stays Inflight across reposts — only
+       the final give-up aborts it back to Remote. Each attempt carries
+       its own [live] flag so a completion the fabric delivered after we
+       stopped believing in it (timeout fired, retry posted) is ignored;
+       [outcome] settles exactly once, waking the parked unithread. *)
+    let timeout = t.cfg.Config.fetch_timeout in
+    let outcome = ref `Pending in
+    let waker = ref (fun () -> ()) in
+    let settle o =
+      if !outcome = `Pending then begin
+        outcome := o;
+        !waker ()
+      end
+    in
+    let on_complete () =
+      Pager.complete_fetch t.pager page;
+      ev t Trace_event.Rdma_complete ~req:rid ~worker:wid ~page;
+      List.iter (fun f -> f ()) (Pager.take_waiters t.pager page);
+      settle `Ok
+    in
+    let rec post_attempt ~blocking n =
+      if n > 0 then Memnode.record_read t.memnode ~bytes:page_bytes;
+      let live = ref true in
+      let ok =
+        Nic.post w.qp ~opcode:Verbs.Read ~bytes:page_bytes ~cq:w.fetch_cq
+          ~user:(fun () ->
+            if !live then begin
+              live := false;
+              on_complete ()
+            end)
+      in
+      if not ok then begin
+        (* full QP: back off and repost. The first attempt runs on the
+           worker and may block; retries run from the timer and must
+           reschedule themselves instead. *)
+        t.counters.qp_stalls <- t.counters.qp_stalls + 1;
+        ev t Trace_event.Stall_qp ~req:rid ~worker:wid ~page;
+        if blocking then begin
+          Proc.wait Params.qp_retry_cycles;
+          post_attempt ~blocking n
+        end
+        else
+          Sim.schedule t.sim ~delay:Params.qp_retry_cycles (fun () ->
+              if !outcome = `Pending then post_attempt ~blocking:false n)
+      end
+      else begin
+        ev t Trace_event.Rdma_issue ~req:rid ~worker:wid ~page;
+        if timeout > 0 then
+          (* exponential backoff: the deadline doubles per repost (capped
+             at 64x) so a throttled fabric is not flooded *)
+          Sim.schedule t.sim
+            ~delay:(timeout lsl min n 6)
+            (fun () ->
+              if !live && !outcome = `Pending then begin
+                live := false;
+                t.counters.fetch_timeouts <- t.counters.fetch_timeouts + 1;
+                ev t Trace_event.Fetch_timeout ~req:rid ~worker:wid ~page;
+                if n >= t.cfg.Config.fetch_retries then begin
+                  (* exhausted: surface the failure. Waiters re-examine
+                     the page and refetch it themselves. *)
+                  Pager.abort_fetch t.pager page;
+                  List.iter
+                    (fun f -> f ())
+                    (Pager.take_waiters t.pager page);
+                  settle `Failed
+                end
+                else begin
+                  t.counters.fetch_retries <- t.counters.fetch_retries + 1;
+                  t.counters.retries_hwm <-
+                    max t.counters.retries_hwm (n + 1);
+                  ev t Trace_event.Fetch_retry ~req:rid ~worker:wid ~page;
+                  post_attempt ~blocking:false (n + 1)
+                end
+              end)
+      end
+    in
     if is_busywait t.cfg then begin
       let start = Sim.now t.sim in
       Integrator.add t.busy_waiters 1;
-      Proc.suspend (fun resume ->
-          let ok =
-            Nic.post w.qp ~opcode:Verbs.Read ~bytes:page_bytes ~cq:w.fetch_cq
-              ~user:(fun () ->
-                Pager.complete_fetch t.pager page;
-                ev t Trace_event.Rdma_complete ~req:rid ~worker:wid ~page;
-                List.iter (fun f -> f ()) (Pager.take_waiters t.pager page);
-                resume ())
-          in
-          if not ok then failwith "fault: QP full after prepare"
-          else ev t Trace_event.Rdma_issue ~req:rid ~worker:wid ~page);
+      post_attempt ~blocking:true 0;
+      if !outcome = `Pending then Proc.suspend (fun resume -> waker := resume);
       Integrator.add t.busy_waiters (-1);
       comps.rdma <- comps.rdma + (Sim.now t.sim - start)
     end
     else begin
       (* Adios: issue and yield (Fig. 5 steps 4-5, 8-10). *)
       let start = Sim.now t.sim in
-      let ok =
-        Nic.post w.qp ~opcode:Verbs.Read ~bytes:page_bytes ~cq:w.fetch_cq
-          ~user:(fun () ->
-            Pager.complete_fetch t.pager page;
-            ev t Trace_event.Rdma_complete ~req:rid ~worker:wid ~page;
-            List.iter (fun f -> f ()) (Pager.take_waiters t.pager page);
-            e.ready_at <- Sim.now t.sim;
-            Queue.push e w.ready;
-            Proc.Gate.signal w.gate)
-      in
-      if not ok then failwith "fault: QP full after prepare";
-      ev t Trace_event.Rdma_issue ~req:rid ~worker:wid ~page;
-      Task.suspend ();
+      waker :=
+        (fun () ->
+          e.ready_at <- Sim.now t.sim;
+          Queue.push e w.ready;
+          Proc.Gate.signal w.gate);
+      post_attempt ~blocking:true 0;
+      if !outcome = `Pending then Task.suspend ();
       comps.rdma <- comps.rdma + (e.ready_at - start)
     end;
-    (* map the fetched page and return (Fig. 5 step 10) *)
-    charge_pf e Params.map_page_cycles;
-    ev t Trace_event.Fault_end ~req:rid ~worker:wid ~page
+    (match !outcome with
+    | `Failed ->
+      ev t Trace_event.Req_error ~req:rid ~worker:wid ~page;
+      ev t Trace_event.Fault_end ~req:rid ~worker:wid ~page;
+      raise (Fetch_failed page)
+    | `Ok | `Pending ->
+      (* map the fetched page and return (Fig. 5 step 10) *)
+      charge_pf e Params.map_page_cycles;
+      ev t Trace_event.Fault_end ~req:rid ~worker:wid ~page)
 
 (* Touch every page of [addr, addr+len); hit, coalesce or fault. *)
 let touch_range t e ~addr ~len ~write =
@@ -420,7 +530,10 @@ let step_task t e task =
   ev t Trace_event.Run_begin ~req:rid ~worker:wid;
   (match Task.run task with
   | Task.Finished ->
-    t.counters.handled <- t.counters.handled + 1;
+    (* an errored handler still replies — with an error status — so the
+       buffer recycles and request conservation holds under faults *)
+    if e.req.Request.errored then t.counters.errored <- t.counters.errored + 1
+    else t.counters.handled <- t.counters.handled + 1;
     send_reply t e
   | Task.Suspended ->
     if e.preempted then begin
@@ -457,7 +570,11 @@ let run_entry t w e =
     | Config.Dilos | Config.Dilos_p | Config.Adios -> ());
     e.quantum_start <- Sim.now t.sim;
     let ctx = make_ctx t e in
-    let task = Task.create (fun () -> t.app.App.handle ctx e.req.Request.spec) in
+    let task =
+      Task.create (fun () ->
+          try t.app.App.handle ctx e.req.Request.spec
+          with Fetch_failed _ -> e.req.Request.errored <- true)
+    in
     e.task <- Some task;
     step_task t e task
 
@@ -695,7 +812,7 @@ let evict_page t ~page ~dirty =
       if not ok then begin
         t.counters.writeback_stalls <- t.counters.writeback_stalls + 1;
         ev t Trace_event.Stall_qp ~req:actor ~worker:actor ~page;
-        Proc.wait 200;
+        Proc.wait Params.qp_retry_cycles;
         try_post ()
       end
       else ev t Trace_event.Rdma_issue ~req:actor ~worker:actor ~page
@@ -719,8 +836,20 @@ let create ?(trace = Trace_sink.null) sim cfg app ~on_reply =
   let rdma_rx_link = Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead () in
   let rdma_tx_link = Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead () in
   let reply_link = Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead () in
+  let fault =
+    if Injector.enabled cfg.Config.fault then
+      Some (Injector.create cfg.Config.fault)
+    else None
+  in
+  if cfg.Config.fault.Injector.throttle > 0. then begin
+    (* a throttled memory node stretches every fetch-direction
+       serialization; deterministic, so replay is unaffected *)
+    Memnode.set_throttle memnode cfg.Config.fault.Injector.throttle;
+    Link.set_perturb rdma_rx_link
+      (Some (fun base -> Memnode.throttle_extra memnode ~cycles:base))
+  end;
   let nic =
-    Nic.create ~trace sim ~rx_link:rdma_rx_link ~tx_link:rdma_tx_link
+    Nic.create ~trace ?fault sim ~rx_link:rdma_rx_link ~tx_link:rdma_tx_link
       ~wqe_overhead_cycles:Params.wqe_overhead_cycles
       ~base_latency_cycles:Params.rdma_base_latency_cycles ()
   in
@@ -784,13 +913,19 @@ let create ?(trace = Trace_sink.null) sim cfg app ~on_reply =
           drops_queue = 0;
           drops_buffer = 0;
           handled = 0;
+          errored = 0;
           faults = 0;
           coalesced = 0;
           qp_stalls = 0;
           preemptions = 0;
           writeback_stalls = 0;
           frame_stalls = 0;
+          fetch_timeouts = 0;
+          fetch_retries = 0;
+          retries_hwm = 0;
+          drops_qp = 0;
         };
+      fault;
       trace;
     }
   in

@@ -24,6 +24,9 @@ type counters = {
   mutable drops_queue : int;  (** central queue full *)
   mutable drops_buffer : int;  (** buffer pool exhausted *)
   mutable handled : int;  (** request handlers run to completion *)
+  mutable errored : int;
+      (** handlers aborted by fetch-retry exhaustion; their replies carry
+          an error status but still count toward conservation *)
   mutable faults : int;  (** page faults taken (fetches issued) *)
   mutable coalesced : int;  (** faults absorbed by an in-flight fetch *)
   mutable qp_stalls : int;  (** fault handler pauses on a full QP *)
@@ -32,6 +35,16 @@ type counters = {
   mutable frame_stalls : int;
       (** faults that found no free frame and had to wait for the
           reclaimer — the out-of-memory stalls section 3.3 eliminates *)
+  mutable fetch_timeouts : int;
+      (** page fetches declared lost after [Config.fetch_timeout] cycles
+          without a completion *)
+  mutable fetch_retries : int;  (** fetches reposted after a timeout *)
+  mutable retries_hwm : int;
+      (** most reposts any single fetch needed (bounded by
+          [Config.fetch_retries]) *)
+  mutable drops_qp : int;
+      (** posts refused by a full QP on the prefetch path (the prefetch
+          is abandoned, never silently lost) *)
 }
 
 val create :
@@ -57,6 +70,12 @@ val receive : t -> rx_at:int -> Request.t -> unit
     channel by the runner). *)
 
 val counters : t -> counters
+
+val faults_injected : t -> int
+(** Completions suppressed or delayed by the fault injector so far
+    (0 on a clean fabric). *)
+
+
 val pager : t -> Adios_mem.Pager.t
 val reclaimer : t -> Adios_mem.Reclaimer.t
 val buffers : t -> Adios_unithread.Buffer_pool.t

@@ -87,6 +87,16 @@ let complete_fetch t page =
   t.inflight <- t.inflight - 1;
   install t page
 
+let abort_fetch t page =
+  if state t page <> Inflight then
+    invalid_arg "Pager.abort_fetch: not inflight";
+  t.inflight <- t.inflight - 1;
+  Bytes.set t.state page '\000';
+  (* the reserved frame is free again; someone may be parked on it *)
+  match Queue.take_opt t.frame_waiters with
+  | Some resume -> resume ()
+  | None -> ()
+
 let add_waiter t page resume =
   let existing = try Hashtbl.find t.waiters page with Not_found -> [] in
   Hashtbl.replace t.waiters page (resume :: existing)

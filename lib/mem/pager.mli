@@ -54,6 +54,13 @@ val start_fetch : t -> int -> unit
 val complete_fetch : t -> int -> unit
 (** [Inflight] -> [Present]; the page enters the CLOCK ring referenced. *)
 
+val abort_fetch : t -> int -> unit
+(** [Inflight] -> [Remote], releasing the reserved frame (wakes one
+    frame waiter if any). Used when a fetch times out or its QP slot is
+    rolled back: the caller is expected to drain {!take_waiters} itself
+    so parked faults re-examine the page.
+    @raise Invalid_argument if the page is not [Inflight]. *)
+
 val add_waiter : t -> int -> (unit -> unit) -> unit
 (** Park a fault on an [Inflight] page; resumed by {!take_waiters}'s
     caller after [complete_fetch]. *)

@@ -4,6 +4,7 @@ type t = {
   wire_overhead : float;
   busy : Adios_stats.Integrator.t;
   mutable bytes : int;
+  mutable perturb : (int -> int) option;
 }
 
 let create sim ~gbps ?(wire_overhead = 0.27) () =
@@ -17,11 +18,15 @@ let create sim ~gbps ?(wire_overhead = 0.27) () =
     wire_overhead;
     busy = Adios_stats.Integrator.create sim;
     bytes = 0;
+    perturb = None;
   }
+
+let set_perturb t f = t.perturb <- f
 
 let serialize_cycles t ~bytes =
   let wire = float_of_int bytes *. (1. +. t.wire_overhead) in
-  max 1 (int_of_float (ceil (wire /. t.bytes_per_cycle)))
+  let base = max 1 (int_of_float (ceil (wire /. t.bytes_per_cycle))) in
+  match t.perturb with None -> base | Some f -> base + max 0 (f base)
 
 let occupy t ~cycles ~bytes =
   t.bytes <- t.bytes + bytes;

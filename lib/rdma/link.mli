@@ -21,6 +21,13 @@ val create :
 val serialize_cycles : t -> bytes:int -> int
 (** Cycles needed to put one message of [bytes] payload on the wire. *)
 
+val set_perturb : t -> (int -> int) option -> unit
+(** Install (or clear) a serialization perturbation: the hook receives
+    the nominal serialization cycles of each message and returns extra
+    cycles to add (negative returns are clamped to 0). Used by the fault
+    layer to model a throttled remote memory node; the hook must be
+    deterministic for runs to stay replayable. *)
+
 val occupy : t -> cycles:int -> bytes:int -> unit
 (** Account [cycles] of busy time and [bytes] of payload carried. The
     caller (the NIC engine) guarantees occupations do not overlap. *)

@@ -7,6 +7,7 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable bytes_served : int;
+  mutable throttle : float;
 }
 
 let create ~capacity_bytes =
@@ -17,7 +18,15 @@ let create ~capacity_bytes =
     reads = 0;
     writes = 0;
     bytes_served = 0;
+    throttle = 0.;
   }
+
+let set_throttle t f = t.throttle <- max 0. f
+let throttle t = t.throttle
+
+let throttle_extra t ~cycles =
+  if t.throttle <= 0. then 0
+  else int_of_float (ceil (t.throttle *. float_of_int cycles))
 
 let register t ~bytes =
   if t.next_base + bytes > t.capacity then

@@ -33,3 +33,15 @@ val reads : t -> int
 val writes : t -> int
 val bytes_served : t -> int
 val registered_bytes : t -> int
+
+val set_throttle : t -> float -> unit
+(** Slow the node down: every access it serves takes an extra
+    [throttle] fraction of its nominal serialization time (0 = full
+    speed; clamped below at 0). The fetch-direction link consults
+    {!throttle_extra} through a perturbation hook. *)
+
+val throttle : t -> float
+
+val throttle_extra : t -> cycles:int -> int
+(** Extra service cycles a throttled node adds to an access whose
+    nominal cost is [cycles]. *)

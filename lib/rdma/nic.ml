@@ -40,10 +40,12 @@ and 'a t = {
   mutable posted : int;
   mutable completed : int;
   mutable read_bytes : int;
+  mutable dropped : int;
+  fault : Adios_fault.Injector.t option;
   trace : Adios_trace.Sink.t;
 }
 
-let create ?(trace = Adios_trace.Sink.null) sim ~rx_link ~tx_link
+let create ?(trace = Adios_trace.Sink.null) ?fault sim ~rx_link ~tx_link
     ~wqe_overhead_cycles ~base_latency_cycles () =
   {
     sim;
@@ -56,6 +58,8 @@ let create ?(trace = Adios_trace.Sink.null) sim ~rx_link ~tx_link
     posted = 0;
     completed = 0;
     read_bytes = 0;
+    dropped = 0;
+    fault;
     trace;
   }
 
@@ -112,28 +116,62 @@ let rec kick nic engine =
           (* the pop may have exposed a head WR travelling the other
              way: the sibling engine must look too *)
           kick nic (match engine.dir with Rx -> nic.tx | Tx -> nic.rx);
+          (* the fault fabric decides this completion's fate now, in
+             serialization order, so a given fault seed replays
+             byte-identically whatever the host does in between *)
+          let verdict =
+            match nic.fault with
+            | None -> Adios_fault.Injector.Deliver
+            | Some inj ->
+              Adios_fault.Injector.on_completion inj
+                ~now:(Adios_engine.Sim.now nic.sim)
+                ~is_read:(wr.opcode = Verbs.Read) ~qp:qp.qp_id
+                ~base_cycles:nic.base_latency
+          in
+          let lost = verdict = Adios_fault.Injector.Drop in
+          let latency =
+            nic.base_latency
+            +
+            match verdict with
+            | Adios_fault.Injector.Delay d -> d
+            | Adios_fault.Injector.Deliver | Adios_fault.Injector.Drop -> 0
+          in
           (* completion after fabric + remote DMA; a QP's completions are
              delivered in posting order, so a WR that finishes before a
-             predecessor parks until the predecessor lands *)
-          Adios_engine.Sim.schedule nic.sim ~delay:nic.base_latency (fun () ->
+             predecessor parks until the predecessor lands. A lost
+             completion still advances the QP bookkeeping at its nominal
+             delivery time — the slot frees, successors may complete —
+             but no CQE is pushed: the initiator only learns of the loss
+             through its own timeout. *)
+          Adios_engine.Sim.schedule nic.sim ~delay:latency (fun () ->
               let deliver () =
                 qp.outstanding <- qp.outstanding - 1;
-                nic.completed <- nic.completed + 1;
-                if wr.opcode = Verbs.Read then
-                  nic.read_bytes <- nic.read_bytes + wr.bytes;
-                Adios_trace.Sink.emit nic.trace
-                  ~ts:(Adios_engine.Sim.now nic.sim)
-                  ~kind:Adios_trace.Event.Cqe ~req:Adios_trace.Event.none
-                  ~worker:qp.qp_id ~page:wr.wr_id;
-                Verbs.Cq.push wr.cq
-                  {
-                    Verbs.wr_id = wr.wr_id;
-                    opcode = wr.opcode;
-                    bytes = wr.bytes;
-                    posted_at = wr.posted_at;
-                    completed_at = Adios_engine.Sim.now nic.sim;
-                    user = wr.user;
-                  }
+                if lost then begin
+                  nic.dropped <- nic.dropped + 1;
+                  Adios_trace.Sink.emit nic.trace
+                    ~ts:(Adios_engine.Sim.now nic.sim)
+                    ~kind:Adios_trace.Event.Fault_injected
+                    ~req:Adios_trace.Event.none ~worker:qp.qp_id
+                    ~page:wr.wr_id
+                end
+                else begin
+                  nic.completed <- nic.completed + 1;
+                  if wr.opcode = Verbs.Read then
+                    nic.read_bytes <- nic.read_bytes + wr.bytes;
+                  Adios_trace.Sink.emit nic.trace
+                    ~ts:(Adios_engine.Sim.now nic.sim)
+                    ~kind:Adios_trace.Event.Cqe ~req:Adios_trace.Event.none
+                    ~worker:qp.qp_id ~page:wr.wr_id;
+                  Verbs.Cq.push wr.cq
+                    {
+                      Verbs.wr_id = wr.wr_id;
+                      opcode = wr.opcode;
+                      bytes = wr.bytes;
+                      posted_at = wr.posted_at;
+                      completed_at = Adios_engine.Sim.now nic.sim;
+                      user = wr.user;
+                    }
+                end
               in
               if wr.qp_seq = qp.deliver_seq then begin
                 deliver ();
@@ -184,3 +222,4 @@ let post qp ~opcode ~bytes ~user ~cq =
 let posted nic = nic.posted
 let completed nic = nic.completed
 let read_bytes nic = nic.read_bytes
+let dropped_completions nic = nic.dropped

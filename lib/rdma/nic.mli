@@ -9,13 +9,21 @@
 
     Completion of a WR is delivered [base_latency] cycles after its
     serialization finishes (fabric propagation + remote DMA), onto the CQ
-    chosen at post time. *)
+    chosen at post time.
+
+    An optional fault injector sits on the completion path: it may delay
+    a completion (latency spike / QP stall window) or lose it entirely.
+    A lost completion still releases its QP slot and advances the
+    in-order delivery sequence at the nominal delivery time — the
+    fabric's bookkeeping survives — but no CQE reaches the host, which
+    must recover via its own timeout. *)
 
 type 'a t
 type 'a qp
 
 val create :
   ?trace:Adios_trace.Sink.t ->
+  ?fault:Adios_fault.Injector.t ->
   Adios_engine.Sim.t ->
   rx_link:Link.t ->
   tx_link:Link.t ->
@@ -27,7 +35,8 @@ val create :
     per-work-request engine cost (doorbell + WQE fetch + DMA setup);
     [base_latency_cycles] the wire-to-completion delay. [trace]
     receives a [Wqe_post]/[Cqe] event pair per work request (the QP id
-    in the worker field, the WR id in the page field). *)
+    in the worker field, the WR id in the page field); a completion the
+    [fault] injector loses emits [Fault_injected] instead of [Cqe]. *)
 
 val create_qp : 'a t -> depth:int -> 'a qp
 (** New QP accepting at most [depth] outstanding work requests. *)
@@ -57,3 +66,6 @@ val completed : 'a t -> int
 
 val read_bytes : 'a t -> int
 (** Payload bytes fetched with READ work requests. *)
+
+val dropped_completions : 'a t -> int
+(** Completions the fault injector lost since creation. *)

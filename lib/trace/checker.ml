@@ -13,8 +13,13 @@ type report = {
   evictions : int;
   preemptions : int;
   stalls : int;
+  injected : int;
+  timeouts : int;
+  retries : int;
+  errored : int;
   open_rdma : int;
   open_tx : int;
+  open_losses : int;
   errors : string list;
 }
 
@@ -44,6 +49,10 @@ let check ?(strict = true) events =
   and evictions = ref 0
   and preemptions = ref 0
   and stalls = ref 0
+  and injected = ref 0
+  and timeouts = ref 0
+  and retries = ref 0
+  and errored = ref 0
   and count = ref 0 in
   (* per-worker Run_begin/Run_end alternation *)
   let run_open : (int, int) Hashtbl.t = Hashtbl.create 16 in
@@ -61,6 +70,30 @@ let check ?(strict = true) events =
   let wqe_open : (int, unit) Hashtbl.t = Hashtbl.create 256 in
   let tx_open : (int, unit) Hashtbl.t = Hashtbl.create 256 in
   let req_seen : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  (* fault-recovery bookkeeping, per work request.
+
+     The caller of a successful [Nic.post] emits its page-level
+     [Rdma_issue] right after the NIC's [Wqe_post], at the same
+     timestamp with nothing in between, so adjacent pairing recovers
+     which WR id carries each page ([pending_wqe] holds the WR between
+     the two events). At most one fetch attempt per page is ever
+     outstanding — retries only start after the previous attempt's
+     timeout, and concurrent faults coalesce — so [current_wr] is a
+     single slot per page.
+
+     A [Fetch_timeout] fences off the page's current attempt. If the
+     injector had already announced that attempt's loss
+     ([Fault_injected]), the loss is now recovered; if the announcement
+     comes later (the WQE's nominal delivery time can fall after the
+     timeout under QP congestion), the [abandoned] mark absorbs it.
+     Either way, a loss still pending in [lost] when its page's
+     attempt completes means the bookkeeping is corrupt: nothing can
+     complete a lost fetch. *)
+  let pending_wqe = ref None in
+  let current_wr : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let abandoned : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let lost : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let timeout_open : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
   let last_ts = ref min_int in
   List.iter
     (fun (e : Event.t) ->
@@ -137,12 +170,26 @@ let check ?(strict = true) events =
         | Some [] | None -> ())
       | Event.Rdma_issue ->
         incr rdma_issued;
+        (match !pending_wqe with
+        | Some (wr, ts) when ts = e.ts ->
+          Hashtbl.replace current_wr e.page wr;
+          pending_wqe := None
+        | _ -> ());
         let n =
           match Hashtbl.find_opt rdma_open e.page with Some n -> n | None -> 0
         in
         Hashtbl.replace rdma_open e.page (n + 1)
       | Event.Rdma_complete -> (
         incr rdma_completed;
+        (match Hashtbl.find_opt current_wr e.page with
+        | Some wr ->
+          if Hashtbl.mem lost wr then
+            error
+              "t=%d: Rdma_complete for p%d whose fetch (WR %d) was lost and \
+               never timed out"
+              e.ts e.page wr;
+          Hashtbl.remove current_wr e.page
+        | None -> ());
         (match Hashtbl.find_opt faults_on_page e.page with
         | Some l -> List.iter (fun iv -> iv.satisfied <- true) l
         | None -> ());
@@ -157,7 +204,8 @@ let check ?(strict = true) events =
         incr wqe_posted;
         if Hashtbl.mem wqe_open e.page then
           error "t=%d: duplicate WQE id %d" e.ts e.page;
-        Hashtbl.replace wqe_open e.page ()
+        Hashtbl.replace wqe_open e.page ();
+        pending_wqe := Some (e.page, e.ts)
       | Event.Cqe ->
         incr cqe_delivered;
         if Hashtbl.mem wqe_open e.page then Hashtbl.remove wqe_open e.page
@@ -178,7 +226,76 @@ let check ?(strict = true) events =
       | Event.Evict -> incr evictions
       | Event.Reclaim_begin | Event.Reclaim_end -> ()
       | Event.Preempt -> incr preemptions
-      | Event.Stall_qp | Event.Stall_frame | Event.Stall_buffer -> incr stalls)
+      | Event.Stall_qp | Event.Stall_frame | Event.Stall_buffer -> incr stalls
+      | Event.Fault_injected ->
+        incr injected;
+        (* the WQE terminates here instead of in a CQE *)
+        if Hashtbl.mem wqe_open e.page then Hashtbl.remove wqe_open e.page
+        else if strict then
+          error "t=%d: Fault_injected for WQE id %d that was never posted" e.ts
+            e.page;
+        if Hashtbl.mem abandoned e.page then
+          (* its timeout already fired: under QP congestion the loss is
+             announced at the WQE's nominal delivery time, which can
+             fall after the initiator gave up on it *)
+          Hashtbl.remove abandoned e.page
+        else Hashtbl.replace lost e.page ()
+      | Event.Fetch_timeout ->
+        incr timeouts;
+        (* the current attempt is fenced off: a loss already announced
+           is recovered; one announced later hits the abandoned mark *)
+        (match Hashtbl.find_opt current_wr e.page with
+        | Some wr ->
+          Hashtbl.remove current_wr e.page;
+          if Hashtbl.mem lost wr then Hashtbl.remove lost wr
+          else Hashtbl.replace abandoned wr ()
+        | None -> ());
+        (* the abandoned attempt's issue span closes now; nothing else
+           will complete it *)
+        (match Hashtbl.find_opt rdma_open e.page with
+        | Some n when n > 0 ->
+          if n = 1 then Hashtbl.remove rdma_open e.page
+          else Hashtbl.replace rdma_open e.page (n - 1)
+        | Some _ | None ->
+          if strict then
+            error "t=%d: Fetch_timeout for p%d with no outstanding fetch" e.ts
+              e.page);
+        (* a demand-fetch timeout must lead to a retry or an error
+           surfaced on the request; prefetch timeouts (req = none) are
+           aborts nobody observes *)
+        if e.req >= 0 then begin
+          let key = (e.req, e.page) in
+          let n =
+            match Hashtbl.find_opt timeout_open key with
+            | Some n -> n
+            | None -> 0
+          in
+          Hashtbl.replace timeout_open key (n + 1)
+        end
+      | Event.Fetch_retry -> (
+        incr retries;
+        let key = (e.req, e.page) in
+        match Hashtbl.find_opt timeout_open key with
+        | Some n when n > 0 ->
+          if n = 1 then Hashtbl.remove timeout_open key
+          else Hashtbl.replace timeout_open key (n - 1)
+        | Some _ | None ->
+          if strict then
+            error "t=%d: Fetch_retry for r%d/p%d without a Fetch_timeout" e.ts
+              e.req e.page)
+      | Event.Req_error ->
+        incr errored;
+        let key = (e.req, e.page) in
+        (match Hashtbl.find_opt timeout_open key with
+        | Some n when n > 0 -> Hashtbl.remove timeout_open key
+        | Some _ | None ->
+          if strict then
+            error "t=%d: Req_error for r%d/p%d without a Fetch_timeout" e.ts
+              e.req e.page);
+        (* the open fault interval resolves by surfacing the failure *)
+        (match Hashtbl.find_opt fault_open key with
+        | Some l -> List.iter (fun iv -> iv.satisfied <- true) l
+        | None -> ()))
     events;
   if strict then begin
     Hashtbl.iter
@@ -192,6 +309,13 @@ let check ?(strict = true) events =
               iv.start_ts)
           stack)
       fault_open;
+    Hashtbl.iter
+      (fun (r, p) n ->
+        error
+          "end of trace: %d timed-out fetch(es) on r%d/p%d never retried or \
+           surfaced"
+          n r p)
+      timeout_open;
     (* conservation, from the trace alone: every admitted request must
        have produced exactly one reply *)
     if !enqueued <> !completed then
@@ -219,8 +343,13 @@ let check ?(strict = true) events =
     evictions = !evictions;
     preemptions = !preemptions;
     stalls = !stalls;
+    injected = !injected;
+    timeouts = !timeouts;
+    retries = !retries;
+    errored = !errored;
     open_rdma = Hashtbl.fold (fun _ n acc -> acc + n) rdma_open 0;
     open_tx = Hashtbl.length tx_open;
+    open_losses = Hashtbl.length lost;
     errors = List.rev !errors;
   }
 
@@ -230,11 +359,15 @@ let pp ppf r =
   Format.fprintf ppf
     "@[<v>%d events: %d enqueued, %d dropped, %d replied (%d reaped)@,\
      %d faults (%d coalesced), rdma %d/%d (%d open), wqe %d/%d@,\
-     %d evictions, %d preemptions, %d stalls, %d open tx@,\
-     %s@]"
+     %d evictions, %d preemptions, %d stalls, %d open tx"
     r.events r.enqueued r.dropped r.completed r.tx_reaped r.faults r.coalesced
     r.rdma_issued r.rdma_completed r.open_rdma r.wqe_posted r.cqe_delivered
-    r.evictions r.preemptions r.stalls r.open_tx
+    r.evictions r.preemptions r.stalls r.open_tx;
+  if r.injected + r.timeouts + r.retries + r.errored + r.open_losses > 0 then
+    Format.fprintf ppf
+      "@,%d losses injected (%d pending), %d timeouts, %d retries, %d errored"
+      r.injected r.open_losses r.timeouts r.retries r.errored;
+  Format.fprintf ppf "@,%s@]"
     (match r.errors with
     | [] -> "invariants: OK"
     | l -> Printf.sprintf "invariants: %d VIOLATIONS" (List.length l))

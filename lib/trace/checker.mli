@@ -13,7 +13,15 @@
     - reply TX submissions are unique per request and precede their
       completions;
     - request conservation: every enqueued request produced exactly one
-      reply (strict mode).
+      reply (strict mode) — an errored request still replies, so
+      conservation holds under fault injection;
+    - fault recovery: a completion never lands on a page whose fetch the
+      injector lost (nothing can complete a lost fetch before its
+      timeout); every demand-fetch [Fetch_timeout] is followed by a
+      [Fetch_retry] or a [Req_error] on the same (request, page); a
+      [Fetch_retry] or [Req_error] never appears without its timeout
+      (strict mode). Losses still awaiting their timeout when the trace
+      ends are reported in [open_losses], not flagged.
 
     With [strict = false] — for traces truncated by the ring sink —
     pair-matching tolerates ends whose begins were evicted, and
@@ -34,9 +42,16 @@ type report = {
   evictions : int;
   preemptions : int;
   stalls : int;
+  injected : int;  (** completions the fault fabric lost *)
+  timeouts : int;  (** [Fetch_timeout] count (demand + prefetch) *)
+  retries : int;  (** [Fetch_retry] count *)
+  errored : int;  (** requests surfaced with an error reply *)
   open_rdma : int;  (** issues outstanding at end of trace (allowed:
                         prefetches and write-backs may be in flight) *)
   open_tx : int;  (** TX completions pending at end of trace *)
+  open_losses : int;
+      (** injected losses whose recovery timeout had not fired when the
+          trace ended (allowed: the run stops at the last reply) *)
   errors : string list;  (** invariant violations, oldest first *)
 }
 

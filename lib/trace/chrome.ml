@@ -71,7 +71,8 @@ let to_json ?(cycles_per_us = 2000) events =
   List.iter
     (fun (e : Event.t) ->
       (match e.kind with
-      | Event.Wqe_post | Event.Cqe -> Hashtbl.replace tids tid_nic "nic"
+      | Event.Wqe_post | Event.Cqe | Event.Fault_injected ->
+        Hashtbl.replace tids tid_nic "nic"
       | _ -> ());
       if e.worker = Event.reclaimer_actor then
         Hashtbl.replace tids tid_reclaimer "reclaimer"
@@ -183,7 +184,27 @@ let to_json ?(cycles_per_us = 2000) events =
         instant e ~name:(Printf.sprintf "preempt r%d" e.req) ~cat:"sched"
       | Event.Stall_qp -> instant e ~name:"stall(qp)" ~cat:"stall"
       | Event.Stall_frame -> instant e ~name:"stall(frame)" ~cat:"stall"
-      | Event.Stall_buffer -> instant e ~name:"stall(buffer)" ~cat:"stall")
+      | Event.Stall_buffer -> instant e ~name:"stall(buffer)" ~cat:"stall"
+      | Event.Fault_injected ->
+        (* the WR's qp span ends here — lost, not completed *)
+        raw
+          (Printf.sprintf
+             "{\"name\":\"qp%d\",\"cat\":\"nic\",\"ph\":\"e\",\"id\":%d,\"ts\":%.4f,\"pid\":1,\"tid\":%d}"
+             e.worker e.page (tus e.ts) tid_nic);
+        instant e ~tid:tid_nic ~name:(Printf.sprintf "drop wr%d" e.page)
+          ~cat:"fault"
+      | Event.Fetch_timeout ->
+        (* close the abandoned fetch span at the moment we give up on it *)
+        (match Hashtbl.find_opt rdma_open e.page with
+        | Some q when not (Queue.is_empty q) ->
+          let id, name = Queue.pop q in
+          async e ~name ~cat:"rdma" ~ph:"e" ~id
+        | Some _ | None -> ());
+        instant e ~name:(Printf.sprintf "timeout p%d" e.page) ~cat:"fault"
+      | Event.Fetch_retry ->
+        instant e ~name:(Printf.sprintf "retry p%d" e.page) ~cat:"fault"
+      | Event.Req_error ->
+        instant e ~name:(Printf.sprintf "error r%d" e.req) ~cat:"fault")
     events;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf

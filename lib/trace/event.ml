@@ -21,6 +21,10 @@ type kind =
   | Stall_qp
   | Stall_frame
   | Stall_buffer
+  | Fault_injected
+  | Fetch_timeout
+  | Fetch_retry
+  | Req_error
 
 type t = { ts : int; kind : kind; req : int; worker : int; page : int }
 
@@ -50,6 +54,10 @@ let kind_name = function
   | Stall_qp -> "stall_qp"
   | Stall_frame -> "stall_frame"
   | Stall_buffer -> "stall_buffer"
+  | Fault_injected -> "fault_injected"
+  | Fetch_timeout -> "fetch_timeout"
+  | Fetch_retry -> "fetch_retry"
+  | Req_error -> "req_error"
 
 let pp ppf e =
   Format.fprintf ppf "%d %s req=%d w=%d page=%d" e.ts (kind_name e.kind) e.req

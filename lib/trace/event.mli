@@ -35,6 +35,16 @@ type kind =
   | Stall_qp  (** fault or write-back path paused on a full QP *)
   | Stall_frame  (** fault path parked waiting for a free frame *)
   | Stall_buffer  (** admission paused on buffer exhaustion *)
+  | Fault_injected
+      (** the fault fabric lost a completion (worker = QP id,
+          page = WR id, like [Cqe]) *)
+  | Fetch_timeout
+      (** a page fetch outlived its timeout; [req] = [none] when the
+          abandoned fetch was a prefetch nobody waited on *)
+  | Fetch_retry  (** the timed-out fetch was reposted (bounded) *)
+  | Req_error
+      (** a request's fetch exhausted its retries; the request
+          completes with an error reply instead of wedging *)
 
 type t = { ts : int; kind : kind; req : int; worker : int; page : int }
 

@@ -1,0 +1,357 @@
+(* Fault-injection fabric tests: injector determinism, the NIC's
+   lost-completion bookkeeping, timeout/retry recovery in the page-fault
+   path, and the differential harness — a clean fabric must reproduce
+   the pre-injector results byte-for-byte, and a faulty one must replay
+   byte-identically from its seed while still conserving every request. *)
+
+module Sim = Adios_engine.Sim
+module Clock = Adios_engine.Clock
+module Link = Adios_rdma.Link
+module Verbs = Adios_rdma.Verbs
+module Nic = Adios_rdma.Nic
+module Injector = Adios_fault.Injector
+module Config = Adios_core.Config
+module Runner = Adios_core.Runner
+module Export = Adios_core.Export
+module Sink = Adios_trace.Sink
+module Checker = Adios_trace.Checker
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
+let check_string = check Alcotest.string
+
+let all_systems = [ Config.Dilos; Config.Dilos_p; Config.Adios; Config.Hermit ]
+
+let small_array () = Adios_apps.Array_bench.app ~pages:2048 ()
+
+(* --- injector --------------------------------------------------------- *)
+
+let test_injector_enabled () =
+  check_bool "none injects nothing" false (Injector.enabled Injector.none);
+  check_bool "drop enables" true
+    (Injector.enabled { Injector.none with Injector.drop = 0.1 });
+  check_bool "throttle enables" true
+    (Injector.enabled { Injector.none with Injector.throttle = 0.5 });
+  (* a stall probability without a window length can never fire *)
+  check_bool "stall needs a window" false
+    (Injector.enabled { Injector.none with Injector.stall = 0.5 })
+
+let drain inj n =
+  List.init n (fun i ->
+      Injector.on_completion inj ~now:(i * 1000) ~is_read:(i mod 3 <> 0)
+        ~qp:(i mod 4) ~base_cycles:1000)
+
+let test_injector_deterministic () =
+  let cfg =
+    {
+      Injector.none with
+      Injector.drop = 0.2;
+      spike = 0.3;
+      stall = 0.1;
+      stall_cycles = 5000;
+      seed = 9;
+    }
+  in
+  let a = drain (Injector.create cfg) 500 in
+  let b = drain (Injector.create cfg) 500 in
+  check_bool "same seed, same schedule" true (a = b);
+  let c = drain (Injector.create { cfg with Injector.seed = 10 }) 500 in
+  check_bool "different seed, different schedule" true (a <> c);
+  check_bool "schedule is not all-Deliver" true
+    (List.exists (fun v -> v <> Injector.Deliver) a)
+
+let test_injector_drops_reads_only () =
+  let inj =
+    Injector.create { Injector.none with Injector.drop = 1.0; seed = 3 }
+  in
+  for i = 0 to 99 do
+    let v =
+      Injector.on_completion inj ~now:i ~is_read:false ~qp:0 ~base_cycles:1000
+    in
+    check_bool "writes never dropped" true (v <> Injector.Drop)
+  done;
+  let v =
+    Injector.on_completion inj ~now:0 ~is_read:true ~qp:0 ~base_cycles:1000
+  in
+  check_bool "reads dropped" true (v = Injector.Drop);
+  check_int "stats count the drop" 1 (Injector.stats inj).Injector.drops;
+  check_int "injected total" 1 (Injector.injected inj)
+
+(* --- nic lost completions --------------------------------------------- *)
+
+(* Regression for the silently-vanishing completion: a dropped CQE must
+   still release its QP slot and be counted, never wedge the QP. *)
+let test_nic_drop_frees_slot () =
+  let sim = Sim.create () in
+  let rx = Link.create sim ~gbps:100. ~wire_overhead:0. () in
+  let tx = Link.create sim ~gbps:100. ~wire_overhead:0. () in
+  let fault =
+    Injector.create { Injector.none with Injector.drop = 1.0; seed = 5 }
+  in
+  let nic =
+    Nic.create ~fault sim ~rx_link:rx ~tx_link:tx ~wqe_overhead_cycles:100
+      ~base_latency_cycles:1000 ()
+  in
+  let qp = Nic.create_qp nic ~depth:1 in
+  let cq = Verbs.Cq.create () in
+  let fired = ref 0 in
+  let post () =
+    Nic.post qp ~opcode:Verbs.Read ~bytes:4096 ~cq
+      ~user:(fun () -> incr fired)
+  in
+  check_bool "posted" true (post ());
+  check_bool "qp full at depth 1" false (post ());
+  Sim.run sim;
+  check_int "no CQE delivered" 0 (Verbs.Cq.depth cq);
+  check_int "loss counted" 1 (Nic.dropped_completions nic);
+  check_int "completion callback never ran" 0 !fired;
+  check_int "slot released" 0 (Nic.outstanding qp);
+  check_bool "qp usable again" true (post ());
+  Sim.run sim;
+  check_int "second loss counted" 2 (Nic.dropped_completions nic)
+
+let test_nic_writes_survive_drop_config () =
+  let sim = Sim.create () in
+  let rx = Link.create sim ~gbps:100. ~wire_overhead:0. () in
+  let tx = Link.create sim ~gbps:100. ~wire_overhead:0. () in
+  let fault =
+    Injector.create { Injector.none with Injector.drop = 1.0; seed = 5 }
+  in
+  let nic =
+    Nic.create ~fault sim ~rx_link:rx ~tx_link:tx ~wqe_overhead_cycles:100
+      ~base_latency_cycles:1000 ()
+  in
+  let qp = Nic.create_qp nic ~depth:4 in
+  let cq = Verbs.Cq.create () in
+  let ok =
+    Nic.post qp ~opcode:Verbs.Write ~bytes:4096 ~cq ~user:(fun () -> ())
+  in
+  check_bool "posted" true ok;
+  Sim.run sim;
+  check_int "write CQE delivered" 1 (Verbs.Cq.depth cq);
+  check_int "nothing lost" 0 (Nic.dropped_completions nic)
+
+(* --- differential harness --------------------------------------------- *)
+
+(* Pre-injector result rows (the seed commit's 23 columns) for
+   Config.default on the 2048-page array app at 800 krps x 4000
+   requests. A clean fabric must keep reproducing these bytes. *)
+let golden_rows =
+  [
+    ( Config.Dilos,
+      "DiLOS,array,769.5,769.5,0.0000,7.584,8.896,11.072,12.224,7.059,0.2609,3243,7,3227,0,0,322,0,0,0,0,0,0"
+    );
+    ( Config.Dilos_p,
+      "DiLOS-P,array,769.1,769.1,0.0000,8.160,9.792,13.120,15.168,7.655,0.2610,3245,7,3245,3245,0,335,0,0,0,0,0,0"
+    );
+    ( Config.Adios,
+      "Adios,array,769.6,769.6,0.0000,7.584,8.032,8.640,9.280,6.823,0.2618,3253,7,3252,0,0,0,0,0,0,0,0,0"
+    );
+    ( Config.Hermit,
+      "Hermit,array,726.7,726.7,0.0000,10.432,20.096,35.584,337.920,13.556,0.2471,3236,7,3220,0,0,324,0,0,0,0,0,0"
+    );
+  ]
+
+let split_csv line = String.split_on_char ',' line
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let clean_run sys =
+  Runner.run (Config.default sys) (small_array ()) ~offered_krps:800.
+    ~requests:4000 ()
+
+let test_zero_fault_matches_baseline () =
+  List.iter
+    (fun (sys, golden) ->
+      let row = Export.csv_row (clean_run sys) in
+      let cols = split_csv row in
+      check_string
+        (Config.system_name sys ^ " baseline prefix")
+        golden
+        (String.concat "," (take 23 cols));
+      List.iteri
+        (fun i c ->
+          if i >= 23 then
+            check_string
+              (Printf.sprintf "%s fault column %d idle" (Config.system_name sys)
+                 i)
+              "0" c)
+        cols)
+    golden_rows
+
+let faulty_cfg ?(drop = 0.05) ?(retries = 3) ?(fseed = 11) sys =
+  {
+    (Config.default sys) with
+    Config.fault =
+      {
+        Injector.none with
+        Injector.drop;
+        spike = 0.02;
+        stall = 0.01;
+        stall_cycles = Clock.of_us 20.;
+        seed = fseed;
+      };
+    fetch_timeout = Clock.of_us 50.;
+    fetch_retries = retries;
+  }
+
+let test_fault_runs_deterministic () =
+  List.iter
+    (fun sys ->
+      let row () =
+        Export.csv_row
+          (Runner.run (faulty_cfg sys) (small_array ()) ~offered_krps:800.
+             ~requests:4000 ())
+      in
+      check_string
+        (Config.system_name sys ^ " same fault seed, same bytes")
+        (row ()) (row ()))
+    all_systems
+
+let test_fault_schedule_independent_of_tracing () =
+  let cfg = faulty_cfg Config.Adios in
+  let bare =
+    Runner.run cfg (small_array ()) ~offered_krps:800. ~requests:4000 ()
+  in
+  let traced =
+    Runner.run cfg (small_array ()) ~offered_krps:800. ~requests:4000
+      ~trace:(Sink.create ~capacity:2_000_000)
+      ()
+  in
+  check_string "tracing does not move the faults" (Export.csv_row bare)
+    (Export.csv_row traced);
+  check_bool "faults actually injected" true (bare.Runner.faults_injected > 0)
+
+let test_fault_seed_changes_schedule () =
+  let run fseed =
+    Runner.run
+      (faulty_cfg ~fseed Config.Adios)
+      (small_array ()) ~offered_krps:800. ~requests:4000 ()
+  in
+  check_bool "fault seed matters" true
+    (Export.csv_row (run 11) <> Export.csv_row (run 12))
+
+(* --- recovery --------------------------------------------------------- *)
+
+let test_recovery_no_wedge_all_systems () =
+  List.iter
+    (fun sys ->
+      let trace = Sink.create ~capacity:2_000_000 in
+      let r =
+        Runner.run (faulty_cfg sys) (small_array ()) ~offered_krps:800.
+          ~requests:4000 ~trace ()
+      in
+      let name = Config.system_name sys in
+      check_int (name ^ " conservation") 4000
+        (r.Runner.completed + r.Runner.dropped);
+      check_bool (name ^ " losses occurred") true (r.Runner.fetch_timeouts > 0);
+      check_bool
+        (name ^ " retries bounded")
+        true
+        (r.Runner.retries_hwm <= 3);
+      let report = Checker.check (Sink.to_list trace) in
+      check (Alcotest.list Alcotest.string) (name ^ " invariants") []
+        report.Checker.errors)
+    all_systems
+
+let test_retry_exhaustion_surfaces_errors () =
+  let trace = Sink.create ~capacity:2_000_000 in
+  let r =
+    Runner.run
+      (faulty_cfg ~drop:0.6 ~retries:1 Config.Adios)
+      (small_array ()) ~offered_krps:800. ~requests:4000 ~trace ()
+  in
+  check_bool "some requests errored" true (r.Runner.errored > 0);
+  check_int "errored replies still conserve requests" 4000
+    (r.Runner.completed + r.Runner.dropped);
+  check_bool "retries capped at the budget" true (r.Runner.retries_hwm <= 1);
+  let report = Checker.check (Sink.to_list trace) in
+  check (Alcotest.list Alcotest.string) "invariants under exhaustion" []
+    report.Checker.errors;
+  check_int "trace sees the same error count" r.Runner.errored
+    report.Checker.errored
+
+(* --- properties ------------------------------------------------------- *)
+
+let qcheck_cases =
+  let gen =
+    QCheck.make
+      ~print:(fun (sys, load, requests, drop, spike, fseed) ->
+        Printf.sprintf "(%s, %.0f krps, %d reqs, drop %.3f, spike %.3f, fseed %d)"
+          (Config.system_name sys) load requests drop spike fseed)
+      QCheck.Gen.(
+        let* sys = oneofl all_systems in
+        let* load = float_range 300. 1200. in
+        let* requests = int_range 500 2500 in
+        let* drop = float_range 0. 0.15 in
+        let* spike = float_range 0. 0.1 in
+        let* fseed = int_range 1 10_000 in
+        return (sys, load, requests, drop, spike, fseed))
+  in
+  let faulted_run (sys, load, requests, drop, spike, fseed) ~trace =
+    let cfg =
+      {
+        (Config.default sys) with
+        Config.fault =
+          { Injector.none with Injector.drop; spike; seed = fseed };
+        fetch_timeout = Clock.of_us 50.;
+        fetch_retries = 3;
+      }
+    in
+    Runner.run cfg (small_array ()) ~offered_krps:load ~requests ~trace ()
+  in
+  [
+    QCheck.Test.make ~count:10
+      ~name:"conservation + bounded retries under any fault schedule" gen
+      (fun ((_, _, requests, _, _, _) as case) ->
+        let trace = Sink.create ~capacity:2_000_000 in
+        let r = faulted_run case ~trace in
+        r.Runner.completed + r.Runner.dropped = requests
+        && r.Runner.errored <= r.Runner.completed
+        && r.Runner.retries_hwm <= 3
+        && Checker.ok (Checker.check (Sink.to_list trace)));
+    QCheck.Test.make ~count:6 ~name:"fault replay is byte-identical" gen
+      (fun case ->
+        let row () = Export.csv_row (faulted_run case ~trace:Sink.null) in
+        row () = row ());
+  ]
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "injector",
+        [
+          Alcotest.test_case "enabled predicate" `Quick test_injector_enabled;
+          Alcotest.test_case "deterministic schedule" `Quick
+            test_injector_deterministic;
+          Alcotest.test_case "drops reads only" `Quick
+            test_injector_drops_reads_only;
+        ] );
+      ( "nic",
+        [
+          Alcotest.test_case "drop frees the qp slot" `Quick
+            test_nic_drop_frees_slot;
+          Alcotest.test_case "writes survive drop config" `Quick
+            test_nic_writes_survive_drop_config;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "zero faults = baseline bytes" `Slow
+            test_zero_fault_matches_baseline;
+          Alcotest.test_case "fault runs deterministic" `Slow
+            test_fault_runs_deterministic;
+          Alcotest.test_case "schedule independent of tracing" `Quick
+            test_fault_schedule_independent_of_tracing;
+          Alcotest.test_case "fault seed changes schedule" `Quick
+            test_fault_seed_changes_schedule;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "no wedge on any system" `Slow
+            test_recovery_no_wedge_all_systems;
+          Alcotest.test_case "retry exhaustion surfaces errors" `Quick
+            test_retry_exhaustion_surfaces_errors;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+    ]

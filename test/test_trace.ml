@@ -289,6 +289,142 @@ let test_checker_accepts_minimal_valid_stream () =
   in
   check (Alcotest.list Alcotest.string) "clean" [] (errors_of stream)
 
+(* --- checker: fault-recovery events -------------------------------------- *)
+
+(* One request whose demand fetch is lost, times out, and is recovered
+   by a repost — the canonical fault-recovery span stream. The NIC's
+   [Wqe_post] (WR id in [page]) immediately precedes the page-level
+   [Rdma_issue] at the same timestamp, which is how the checker learns
+   which page each WR carries. *)
+let recovered_stream =
+  [
+    ev ~ts:0 ~req:1 Event.Req_enqueue;
+    ev ~ts:1 ~req:1 ~worker:0 Event.Dispatch;
+    ev ~ts:2 ~req:1 ~worker:0 Event.Run_begin;
+    ev ~ts:3 ~req:1 ~worker:0 ~page:9 Event.Fault_begin;
+    ev ~ts:4 ~worker:0 ~page:1 Event.Wqe_post;
+    ev ~ts:4 ~req:1 ~worker:0 ~page:9 Event.Rdma_issue;
+    ev ~ts:6 ~worker:0 ~page:1 Event.Fault_injected;
+    ev ~ts:8 ~req:1 ~worker:0 ~page:9 Event.Fetch_timeout;
+    ev ~ts:8 ~req:1 ~worker:0 ~page:9 Event.Fetch_retry;
+    ev ~ts:8 ~worker:0 ~page:2 Event.Wqe_post;
+    ev ~ts:8 ~req:1 ~worker:0 ~page:9 Event.Rdma_issue;
+    ev ~ts:9 ~worker:0 ~page:2 Event.Cqe;
+    ev ~ts:9 ~req:1 ~worker:0 ~page:9 Event.Rdma_complete;
+    ev ~ts:10 ~req:1 ~worker:0 ~page:9 Event.Fault_end;
+    ev ~ts:11 ~req:1 ~worker:0 Event.Tx_submit;
+    ev ~ts:12 ~req:1 ~worker:0 Event.Run_end;
+    ev ~ts:15 ~req:1 Event.Tx_complete;
+  ]
+
+(* The same request when the retry budget is exhausted: the timeout is
+   surfaced as an error reply instead of a repost. *)
+let errored_stream =
+  [
+    ev ~ts:0 ~req:1 Event.Req_enqueue;
+    ev ~ts:1 ~req:1 ~worker:0 Event.Dispatch;
+    ev ~ts:2 ~req:1 ~worker:0 Event.Run_begin;
+    ev ~ts:3 ~req:1 ~worker:0 ~page:9 Event.Fault_begin;
+    ev ~ts:4 ~worker:0 ~page:1 Event.Wqe_post;
+    ev ~ts:4 ~req:1 ~worker:0 ~page:9 Event.Rdma_issue;
+    ev ~ts:6 ~worker:0 ~page:1 Event.Fault_injected;
+    ev ~ts:8 ~req:1 ~worker:0 ~page:9 Event.Fetch_timeout;
+    ev ~ts:8 ~req:1 ~worker:0 ~page:9 Event.Req_error;
+    ev ~ts:10 ~req:1 ~worker:0 ~page:9 Event.Fault_end;
+    ev ~ts:11 ~req:1 ~worker:0 Event.Tx_submit;
+    ev ~ts:12 ~req:1 ~worker:0 Event.Run_end;
+    ev ~ts:15 ~req:1 Event.Tx_complete;
+  ]
+
+let test_checker_accepts_fault_recovery () =
+  check (Alcotest.list Alcotest.string) "recovered stream clean" []
+    (errors_of recovered_stream);
+  let report = Checker.check recovered_stream in
+  check_int "loss seen" 1 report.Checker.injected;
+  check_int "timeout seen" 1 report.Checker.timeouts;
+  check_int "retry seen" 1 report.Checker.retries;
+  check_int "loss resolved" 0 report.Checker.open_losses;
+  check (Alcotest.list Alcotest.string) "errored stream clean" []
+    (errors_of errored_stream);
+  check_int "error surfaced" 1 (Checker.check errored_stream).Checker.errored
+
+let drop_kind kind =
+  List.filter (fun (e : Event.t) -> e.Event.kind <> kind)
+
+let test_checker_rejects_broken_recovery () =
+  (* a timed-out demand fetch must be retried or surfaced *)
+  check_bool "timeout never resolved" true
+    (errors_of (drop_kind Event.Fetch_retry recovered_stream) <> []);
+  (* a retry out of nowhere *)
+  check_bool "retry without timeout" true
+    (errors_of (drop_kind Event.Fetch_timeout recovered_stream) <> []);
+  (* nothing can complete a fetch whose completion was lost: move the
+     original Cqe/Rdma_complete in front of the timeout *)
+  let completed_lost =
+    [
+      ev ~ts:0 ~req:1 Event.Req_enqueue;
+      ev ~ts:2 ~req:1 ~worker:0 Event.Run_begin;
+      ev ~ts:3 ~req:1 ~worker:0 ~page:9 Event.Fault_begin;
+      ev ~ts:4 ~worker:0 ~page:1 Event.Wqe_post;
+      ev ~ts:4 ~req:1 ~worker:0 ~page:9 Event.Rdma_issue;
+      ev ~ts:6 ~worker:0 ~page:1 Event.Fault_injected;
+      ev ~ts:7 ~req:1 ~worker:0 ~page:9 Event.Rdma_complete;
+    ]
+  in
+  check_bool "completion of a lost fetch" true
+    (errors_of completed_lost <> []);
+  (* a loss on a WQE that was never posted *)
+  check_bool "loss from thin air" true
+    (errors_of [ ev ~ts:1 ~worker:0 ~page:1 Event.Fault_injected ] <> [])
+
+let test_checker_fault_tolerant_mode () =
+  (* a ring that kept only the tail of the recovery: the pre-loss spans
+     are gone, so strict mode flags it and tolerant mode must not *)
+  let suffix =
+    [
+      ev ~ts:8 ~req:1 ~worker:0 ~page:9 Event.Fetch_timeout;
+      ev ~ts:8 ~req:1 ~worker:0 ~page:9 Event.Fetch_retry;
+      ev ~ts:8 ~worker:0 ~page:2 Event.Wqe_post;
+      ev ~ts:8 ~req:1 ~worker:0 ~page:9 Event.Rdma_issue;
+      ev ~ts:9 ~worker:0 ~page:2 Event.Cqe;
+      ev ~ts:9 ~req:1 ~worker:0 ~page:9 Event.Rdma_complete;
+      ev ~ts:10 ~req:1 ~worker:0 ~page:9 Event.Fault_end;
+      ev ~ts:11 ~req:1 ~worker:0 Event.Tx_submit;
+      ev ~ts:12 ~req:1 ~worker:0 Event.Run_end;
+      ev ~ts:15 ~req:1 Event.Tx_complete;
+    ]
+  in
+  check_bool "strict flags the truncated recovery" true
+    (errors_of suffix <> []);
+  check (Alcotest.list Alcotest.string) "tolerant accepts it" []
+    (Checker.check ~strict:false suffix).Checker.errors
+
+let test_checker_fault_counts_match_counters () =
+  let fault_tweak c =
+    {
+      c with
+      Config.fault =
+        {
+          Adios_fault.Injector.none with
+          Adios_fault.Injector.drop = 0.05;
+          seed = 11;
+        };
+      fetch_timeout = Adios_engine.Clock.of_us 50.;
+      fetch_retries = 3;
+    }
+  in
+  let r, trace =
+    traced_run Config.Adios ~load:800. ~requests:4000 ~cfg_tweak:fault_tweak
+  in
+  let report = Checker.check (Sink.to_list trace) in
+  check (Alcotest.list Alcotest.string) "invariants" [] report.Checker.errors;
+  check_bool "faults injected" true (r.Runner.faults_injected > 0);
+  (* drop-only schedule: every injected anomaly is a loss the trace sees *)
+  check_int "injected" r.Runner.faults_injected report.Checker.injected;
+  check_int "timeouts" r.Runner.fetch_timeouts report.Checker.timeouts;
+  check_int "retries" r.Runner.fetch_retries report.Checker.retries;
+  check_int "errored" r.Runner.errored report.Checker.errored
+
 let test_checker_tolerant_mode () =
   (* the same truncated stream errors strictly, passes tolerantly *)
   let truncated =
@@ -442,6 +578,14 @@ let () =
           Alcotest.test_case "accepts minimal valid stream" `Quick
             test_checker_accepts_minimal_valid_stream;
           Alcotest.test_case "tolerant mode" `Quick test_checker_tolerant_mode;
+          Alcotest.test_case "accepts fault recovery" `Quick
+            test_checker_accepts_fault_recovery;
+          Alcotest.test_case "rejects broken recovery" `Quick
+            test_checker_rejects_broken_recovery;
+          Alcotest.test_case "fault tolerant mode" `Quick
+            test_checker_fault_tolerant_mode;
+          Alcotest.test_case "fault counts match counters" `Quick
+            test_checker_fault_counts_match_counters;
         ] );
       ( "purity",
         [
