@@ -1,0 +1,54 @@
+(* adios-lint CLI: walk lib/ and bin/, print findings, gate on them.
+
+     dune exec bin/adios_lint.exe            # lint the current tree
+     dune exec bin/adios_lint.exe -- --root DIR
+
+   Exit status 0 when clean, 1 when any finding (or a bad root). The
+   output format is one finding per line: file:line: [rule] message.
+   See README.md ("Static analysis") for the rule catalogue and the
+   suppression syntax. *)
+
+module Lint = Adios_analysis.Lint
+
+let usage () =
+  prerr_endline "usage: adios_lint [--root DIR] [--rules]";
+  exit 2
+
+let () =
+  let root = ref "." in
+  let list_rules = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: dir :: rest ->
+      root := dir;
+      parse rest
+    | [ "--root" ] -> usage ()
+    | "--rules" :: rest ->
+      list_rules := true;
+      parse rest
+    | ("-h" | "--help") :: _ -> usage ()
+    | dir :: rest when not (String.starts_with ~prefix:"-" dir) ->
+      root := dir;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list_rules then begin
+    List.iter print_endline Lint.rule_names;
+    exit 0
+  end;
+  if not (Sys.file_exists (Filename.concat !root "lib")) then begin
+    Printf.eprintf "adios_lint: %s does not look like the repo root (no lib/)\n"
+      !root;
+    exit 1
+  end;
+  let files, findings = Lint.run ~root:!root in
+  List.iter (fun f -> print_endline (Lint.to_string f)) findings;
+  match findings with
+  | [] ->
+    Printf.printf "adios-lint: %d files checked, no findings\n" files;
+    exit 0
+  | _ :: _ ->
+    Printf.eprintf "adios-lint: %d finding(s) in %d files checked\n"
+      (List.length findings) files;
+    exit 1

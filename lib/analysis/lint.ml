@@ -1,0 +1,607 @@
+(* adios-lint: domain-specific static analysis for this repository.
+
+   The simulator's headline guarantee — a (workload seed, fault seed)
+   pair replays byte-identically, and the trace checker can prove the
+   yield-based page-fault protocol from the event stream alone — rests
+   on conventions that the type checker does not enforce: all
+   randomness flows through [Adios_engine.Rng], every [Event.kind]
+   constructor is wired through the name table, the Chrome exporter and
+   the invariant checker, and every counter the system accumulates
+   reaches the CSV field list. This pass walks the parsetrees of every
+   [.ml] under [lib/] and [bin/] (syntax only, via compiler-libs; no
+   typing environment needed) and turns each convention into a machine
+   check.
+
+   Per-file rules (scoped by path):
+   - [determinism]    [Random.*], [Unix.gettimeofday], [Sys.time] and
+                      [Hashtbl.hash] forbidden outside
+                      [lib/engine/{rng,clock}.ml].
+   - [event-wildcard] no wildcard/catch-all case in a match over
+                      [Trace.Event.kind].
+   - [poly-compare]   polymorphic [=]/[<>]/[compare] on syntactically
+                      structural values (options, lists, tuples,
+                      records, arrays) in [lib/{core,rdma,mem}].
+   - [float-equal]    [=]/[<>] against a float literal.
+   - [no-abort]       [failwith] / [assert false] in [lib/apps]: request
+                      handlers must surface failures through
+                      [App.Bad_request] -> [Request.errored].
+   - [unused-shadow]  a binding immediately shadowed by a same-name
+                      rebinding that does not use it.
+
+   Project rules (cross-file):
+   - [event-wiring]   every [Event.kind] constructor appears in a
+                      pattern in event.ml ([kind_name]), chrome.ml and
+                      checker.ml.
+   - [counter-export] every mutable counter in [System.counters] is
+                      read by the runner, and every scalar field of
+                      [Runner.result] appears in [Export.fields].
+
+   Suppressions: an allow-comment naming the rule (syntax in
+   README.md, "Static analysis") on the finding's line or the line
+   above silences that rule there; a trailing reason is mandatory
+   ([suppress-reason] fires otherwise).
+
+   Only syntactic matching is available at this layer, so the rules are
+   heuristics tuned to this codebase's idioms; they aim for zero false
+   positives on the tree as committed, with the escape hatch above for
+   justified exceptions. *)
+
+open Parsetree
+
+type finding = { file : string; line : int; rule : string; msg : string }
+
+let rule_names =
+  [
+    "determinism";
+    "event-wildcard";
+    "event-wiring";
+    "counter-export";
+    "poly-compare";
+    "float-equal";
+    "no-abort";
+    "unused-shadow";
+    "suppress-reason";
+    "parse-error";
+  ]
+
+let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
+
+let compare_findings a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> String.compare a.rule b.rule
+    | c -> c)
+  | c -> c
+
+(* --- parsing helpers ---------------------------------------------------- *)
+
+let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+let parse_impl ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  Parse.implementation lexbuf
+
+let parse_error_finding ~path exn =
+  let line =
+    match exn with
+    | Syntaxerr.Error e -> line_of (Syntaxerr.location_of_error e)
+    | _ -> 1
+  in
+  { file = path; line; rule = "parse-error"; msg = "file does not parse" }
+
+let flatten lid = try Longident.flatten lid with _ -> []
+
+let last_of lid =
+  match List.rev (flatten lid) with [] -> None | x :: _ -> Some x
+
+(* --- small AST queries -------------------------------------------------- *)
+
+(* Constructor names appearing anywhere in one pattern. *)
+let pattern_constructors p =
+  let acc = ref [] in
+  let pat it q =
+    (match q.ppat_desc with
+    | Ppat_construct ({ txt; _ }, _) -> (
+      match last_of txt with Some n -> acc := n :: !acc | None -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.pat it q
+  in
+  let it = { Ast_iterator.default_iterator with pat } in
+  it.pat it p;
+  !acc
+
+(* Constructor names appearing in any pattern of a whole structure. *)
+let structure_pattern_constructors str =
+  let acc = Hashtbl.create 64 in
+  let pat it q =
+    (match q.ppat_desc with
+    | Ppat_construct ({ txt; _ }, _) -> (
+      match last_of txt with Some n -> Hashtbl.replace acc n () | None -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.pat it q
+  in
+  let it = { Ast_iterator.default_iterator with pat } in
+  it.structure it str;
+  acc
+
+let expr_mentions name e =
+  let found = ref false in
+  let expr it x =
+    (match x.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident n; _ } when String.equal n name ->
+      found := true
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it x
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e;
+  !found
+
+(* Constructors of the variant type [type_name], with declaration lines. *)
+let variant_constructors ~type_name str =
+  let acc = ref [] in
+  let type_declaration it td =
+    (if String.equal td.ptype_name.txt type_name then
+       match td.ptype_kind with
+       | Ptype_variant cds ->
+         List.iter
+           (fun cd -> acc := (cd.pcd_name.txt, line_of cd.pcd_loc) :: !acc)
+           cds
+       | _ -> ());
+    Ast_iterator.default_iterator.type_declaration it td
+  in
+  let it = { Ast_iterator.default_iterator with type_declaration } in
+  it.structure it str;
+  List.rev !acc
+
+let scalar_type_names = [ "int"; "float"; "string"; "bool" ]
+
+(* Fields of the record type [type_name]: (name, line, mutable, scalar). *)
+let record_fields ~type_name str =
+  let acc = ref [] in
+  let type_declaration it td =
+    (if String.equal td.ptype_name.txt type_name then
+       match td.ptype_kind with
+       | Ptype_record lds ->
+         List.iter
+           (fun ld ->
+             let scalar =
+               match ld.pld_type.ptyp_desc with
+               | Ptyp_constr ({ txt; _ }, []) -> (
+                 match last_of txt with
+                 | Some n -> List.mem n scalar_type_names
+                 | None -> false)
+               | _ -> false
+             in
+             acc :=
+               ( ld.pld_name.txt,
+                 line_of ld.pld_loc,
+                 (match ld.pld_mutable with
+                 | Asttypes.Mutable -> true
+                 | Asttypes.Immutable -> false),
+                 scalar )
+               :: !acc)
+           lds
+       | _ -> ());
+    Ast_iterator.default_iterator.type_declaration it td
+  in
+  let it = { Ast_iterator.default_iterator with type_declaration } in
+  it.structure it str;
+  List.rev !acc
+
+(* Labels of field projections written [expr.Qualifier.label]. *)
+let qualified_projections ~qualifier str =
+  let acc = Hashtbl.create 64 in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_field (_, { txt = Longident.Ldot (Longident.Lident q, name); _ })
+      when String.equal q qualifier ->
+      Hashtbl.replace acc name ()
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it str;
+  acc
+
+(* --- per-file rules ------------------------------------------------------ *)
+
+let forbidden_determinism lid =
+  match flatten lid with
+  | "Random" :: _ :: _ | "Stdlib" :: "Random" :: _ ->
+    Some
+      "Random.* breaks seeded replay; thread an Adios_engine.Rng.t from the \
+       config seed instead"
+  | [ "Unix"; "gettimeofday" ] | [ "Stdlib"; "Unix"; "gettimeofday" ] ->
+    Some "wall-clock time breaks replay; use Sim.now / Adios_engine.Clock"
+  | [ "Sys"; "time" ] | [ "Stdlib"; "Sys"; "time" ] ->
+    Some "process time breaks replay; use Sim.now / Adios_engine.Clock"
+  | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ]
+  | [ "Stdlib"; "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] ->
+    Some
+      "polymorphic Hashtbl.hash is not a stable function of the logical \
+       value; derive an explicit integer key"
+  | _ -> None
+
+let determinism_exempt = [ "lib/engine/rng.ml"; "lib/engine/clock.ml" ]
+
+let lint_structure ~path ~event_kinds str =
+  let findings = ref [] in
+  let add loc rule msg =
+    findings := { file = path; line = line_of loc; rule; msg } :: !findings
+  in
+  let det_scope = not (List.mem path determinism_exempt) in
+  let apps_scope = String.starts_with ~prefix:"lib/apps/" path in
+  let poly_scope =
+    List.exists
+      (fun p -> String.starts_with ~prefix:p path)
+      [ "lib/core/"; "lib/rdma/"; "lib/mem/" ]
+  in
+  let is_float_const e =
+    match e.pexp_desc with
+    | Pexp_constant (Pconst_float _) -> true
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident ("~-." | "~+."); _ }; _ },
+          [ (_, { pexp_desc = Pexp_constant (Pconst_float _); _ }) ] ) ->
+      true
+    | _ -> false
+  in
+  let structural e =
+    match e.pexp_desc with
+    | Pexp_construct ({ txt; _ }, _) -> (
+      match last_of txt with
+      | Some ("None" | "Some" | "::" | "[]") -> true
+      | _ -> false)
+    | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+    | _ -> false
+  in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } when det_scope -> (
+      match forbidden_determinism txt with
+      | Some msg -> add loc "determinism" msg
+      | None -> ())
+    | _ -> ());
+    (match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident "failwith"; loc } when apps_scope ->
+      add loc "no-abort"
+        "failwith on a request-serving path aborts the simulation; raise \
+         App.Bad_request (App.bad_request) so the reply carries \
+         Request.errored"
+    | Pexp_assert
+        { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None);
+          pexp_loc;
+          _ }
+      when apps_scope ->
+      add pexp_loc "no-abort"
+        "assert false on a request-serving path aborts the simulation; raise \
+         App.Bad_request (App.require for missing state) so the reply \
+         carries Request.errored"
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
+          [ (_, a); (_, b) ] ) ->
+      if is_float_const a || is_float_const b then
+        add e.pexp_loc "float-equal"
+          (Printf.sprintf
+             "(%s) against a float literal is an exact-bit comparison; test \
+              against an epsilon or restructure the condition"
+             op);
+      if poly_scope && (structural a || structural b) then
+        add e.pexp_loc "poly-compare"
+          (Printf.sprintf
+             "polymorphic (%s) on a structural value; use Option.is_none / \
+              Option.is_some, a match, or a type-specific equal"
+             op)
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident "compare"; _ }; _ },
+          [ (_, a); (_, b) ] )
+      when poly_scope && (structural a || structural b) ->
+      add e.pexp_loc "poly-compare"
+        "polymorphic compare on a structural value; use a type-specific \
+         comparator"
+    | Pexp_apply (_, args) when poly_scope ->
+      List.iter
+        (fun (_, arg) ->
+          match arg.pexp_desc with
+          | Pexp_ident
+              { txt =
+                  ( Longident.Lident "compare"
+                  | Longident.Ldot (Longident.Lident "Stdlib", "compare") );
+                loc } ->
+            add loc "poly-compare"
+              "polymorphic compare passed as a function; pass a \
+               type-specific comparator"
+          | _ -> ())
+        args
+    | Pexp_let
+        ( Asttypes.Nonrecursive,
+          [ { pvb_pat = { ppat_desc = Ppat_var { txt = x; _ }; _ }; pvb_loc; _ } ],
+          body ) -> (
+      match body.pexp_desc with
+      | Pexp_let
+          ( Asttypes.Nonrecursive,
+            [ { pvb_pat = { ppat_desc = Ppat_var { txt = y; _ }; _ };
+                pvb_expr = e2;
+                _ } ],
+            _ )
+        when String.equal x y && not (expr_mentions x e2) ->
+        add pvb_loc "unused-shadow"
+          (Printf.sprintf
+             "binding of %s is dead: immediately shadowed by a rebinding \
+              that does not use it"
+             x)
+      | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let cases it cs =
+    (match event_kinds with
+    | [] -> ()
+    | kinds ->
+      let names =
+        List.concat_map (fun c -> pattern_constructors c.pc_lhs) cs
+      in
+      if List.exists (fun n -> List.mem n kinds) names then
+        List.iter
+          (fun c ->
+            match c.pc_lhs.ppat_desc with
+            | Ppat_any | Ppat_var _ ->
+              add c.pc_lhs.ppat_loc "event-wildcard"
+                "wildcard case in a match over Trace.Event.kind: list the \
+                 constructors so a new event kind is a compile error, not a \
+                 silently untraced event"
+            | _ -> ())
+          cs);
+    Ast_iterator.default_iterator.cases it cs
+  in
+  let it = { Ast_iterator.default_iterator with expr; cases } in
+  it.structure it str;
+  !findings
+
+(* --- suppressions -------------------------------------------------------- *)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.equal (String.sub s i m) sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* The needle is assembled so this file's own source never matches it. *)
+let needle = "lint:" ^ " allow"
+
+let scan_suppressions ~path source =
+  let sups = ref [] and finds = ref [] in
+  let add_find line msg =
+    finds := { file = path; line; rule = "suppress-reason"; msg } :: !finds
+  in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      match find_sub line needle with
+      | None -> ()
+      | Some idx ->
+        let start = idx + String.length needle in
+        let rest = String.sub line start (String.length line - start) in
+        let rest =
+          match find_sub rest "*)" with
+          | Some j -> String.sub rest 0 j
+          | None -> rest
+        in
+        let rules_part, reason =
+          match find_sub rest "--" with
+          | Some j ->
+            ( String.sub rest 0 j,
+              String.trim
+                (String.sub rest (j + 2) (String.length rest - j - 2)) )
+          | None -> (rest, "")
+        in
+        let rules =
+          String.split_on_char ' ' rules_part
+          |> List.concat_map (String.split_on_char ',')
+          |> List.map String.trim
+          |> List.filter (fun s -> not (String.equal s ""))
+        in
+        let unknown =
+          List.filter (fun r -> not (List.mem r rule_names)) rules
+        in
+        List.iter
+          (fun r -> add_find ln (Printf.sprintf "unknown rule %S in suppression" r))
+          unknown;
+        if rules = [] then
+          add_find ln "suppression names no rule"
+        else if String.equal reason "" then
+          add_find ln
+            "suppression without a reason: state why after a -- separator"
+        else if unknown = [] then sups := (ln, rules) :: !sups)
+    (String.split_on_char '\n' source);
+  (!sups, !finds)
+
+let apply_suppressions (sups, sup_finds) findings =
+  let kept =
+    List.filter
+      (fun f ->
+        String.equal f.rule "suppress-reason"
+        || not
+             (List.exists
+                (fun (ln, rules) ->
+                  List.mem f.rule rules && (ln = f.line || ln + 1 = f.line))
+                sups))
+      findings
+  in
+  kept @ sup_finds
+
+(* --- per-file entry points ----------------------------------------------- *)
+
+let lint_raw ~event_kinds ~path ~source =
+  match parse_impl ~path source with
+  | exception exn -> [ parse_error_finding ~path exn ]
+  | str -> lint_structure ~path ~event_kinds str
+
+let lint_source ?(event_kinds = []) ~path ~source () =
+  apply_suppressions
+    (scan_suppressions ~path source)
+    (lint_raw ~event_kinds ~path ~source)
+  |> List.sort compare_findings
+
+(* --- project rules -------------------------------------------------------- *)
+
+let check_event_wiring ~event:(epath, esrc) ~chrome:(cpath, csrc)
+    ~checker:(kpath, ksrc) =
+  match
+    ( parse_impl ~path:epath esrc,
+      parse_impl ~path:cpath csrc,
+      parse_impl ~path:kpath ksrc )
+  with
+  | exception exn -> [ parse_error_finding ~path:epath exn ]
+  | estr, cstr, kstr ->
+    let kinds = variant_constructors ~type_name:"kind" estr in
+    if kinds = [] then
+      [ { file = epath;
+          line = 1;
+          rule = "event-wiring";
+          msg = "no variant type named kind found: the wiring check is blind" } ]
+    else begin
+      let epats = structure_pattern_constructors estr in
+      let cpats = structure_pattern_constructors cstr in
+      let kpats = structure_pattern_constructors kstr in
+      List.concat_map
+        (fun (name, line) ->
+          let missing where table file =
+            if Hashtbl.mem table name then []
+            else
+              [ { file = epath;
+                  line;
+                  rule = "event-wiring";
+                  msg =
+                    Printf.sprintf
+                      "Event.kind constructor %s has no %s mapping in %s"
+                      name where file } ]
+          in
+          missing "kind_name" epats epath
+          @ missing "exporter" cpats cpath
+          @ missing "checker" kpats kpath)
+        kinds
+    end
+
+let check_counter_export ~system:(spath, ssrc) ~runner:(rpath, rsrc)
+    ~export:(xpath, xsrc) =
+  match
+    ( parse_impl ~path:spath ssrc,
+      parse_impl ~path:rpath rsrc,
+      parse_impl ~path:xpath xsrc )
+  with
+  | exception exn -> [ parse_error_finding ~path:spath exn ]
+  | sstr, rstr, xstr ->
+    let counters = record_fields ~type_name:"counters" sstr in
+    let consumed = qualified_projections ~qualifier:"System" rstr in
+    let result_fields = record_fields ~type_name:"result" rstr in
+    let exported = qualified_projections ~qualifier:"Runner" xstr in
+    let counter_findings =
+      List.concat_map
+        (fun (name, line, mut, _scalar) ->
+          if mut && not (Hashtbl.mem consumed name) then
+            [ { file = spath;
+                line;
+                rule = "counter-export";
+                msg =
+                  Printf.sprintf
+                    "counter %s is accumulated but never read by the runner; \
+                     surface it through Runner.result and Export.fields"
+                    name } ]
+          else [])
+        counters
+    in
+    let export_findings =
+      List.concat_map
+        (fun (name, line, _mut, scalar) ->
+          if scalar && not (Hashtbl.mem exported name) then
+            [ { file = rpath;
+                line;
+                rule = "counter-export";
+                msg =
+                  Printf.sprintf
+                    "Runner.result.%s never reaches Export.fields in %s; add \
+                     a CSV column so the measurement is not silently dropped"
+                    name xpath } ]
+          else [])
+        result_fields
+    in
+    counter_findings @ export_findings
+
+(* --- whole-repo driver ---------------------------------------------------- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let collect_files root =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    Array.to_list (Sys.readdir abs)
+    |> List.sort String.compare
+    |> List.iter (fun name ->
+           let rel' = rel ^ "/" ^ name in
+           let abs' = Filename.concat root rel' in
+           if Sys.is_directory abs' then begin
+             if (not (String.equal name "_build")) && name.[0] <> '.' then
+               walk rel'
+           end
+           else if Filename.check_suffix name ".ml" then acc := rel' :: !acc)
+  in
+  List.iter
+    (fun d -> if Sys.file_exists (Filename.concat root d) then walk d)
+    [ "lib"; "bin" ];
+  List.sort String.compare !acc
+
+let run ~root =
+  let files = collect_files root in
+  let sources =
+    List.map (fun f -> (f, read_file (Filename.concat root f))) files
+  in
+  let event_kinds =
+    match List.assoc_opt "lib/trace/event.ml" sources with
+    | None -> []
+    | Some src -> (
+      match parse_impl ~path:"lib/trace/event.ml" src with
+      | exception _ -> []
+      | str -> List.map fst (variant_constructors ~type_name:"kind" str))
+  in
+  let per_file =
+    List.concat_map
+      (fun (path, source) -> lint_raw ~event_kinds ~path ~source)
+      sources
+  in
+  let get f = Option.map (fun s -> (f, s)) (List.assoc_opt f sources) in
+  let wiring =
+    match
+      ( get "lib/trace/event.ml",
+        get "lib/trace/chrome.ml",
+        get "lib/trace/checker.ml" )
+    with
+    | Some e, Some c, Some k -> check_event_wiring ~event:e ~chrome:c ~checker:k
+    | _ -> []
+  in
+  let counters =
+    match
+      ( get "lib/core/system.ml",
+        get "lib/core/runner.ml",
+        get "lib/core/export.ml" )
+    with
+    | Some s, Some r, Some x ->
+      check_counter_export ~system:s ~runner:r ~export:x
+    | _ -> []
+  in
+  let raw = per_file @ wiring @ counters in
+  let final =
+    List.concat_map
+      (fun (path, source) ->
+        apply_suppressions
+          (scan_suppressions ~path source)
+          (List.filter (fun f -> String.equal f.file path) raw))
+      sources
+  in
+  (List.length files, List.sort compare_findings final)

@@ -1,0 +1,49 @@
+(** adios-lint: domain-specific static analysis enforcing this repo's
+    determinism boundary, [Event.kind] wiring, counter/export
+    consistency and a few hygiene rules. Purely syntactic
+    (compiler-libs parsetrees, no typing), tuned to the codebase's
+    idioms; see lint.ml's header comment for the rule catalogue and
+    DESIGN.md for why each invariant is machine-enforced. *)
+
+type finding = { file : string; line : int; rule : string; msg : string }
+
+val rule_names : string list
+(** Every rule the pass can emit, including the [suppress-reason] and
+    [parse-error] meta rules. Suppression comments may only name these. *)
+
+val to_string : finding -> string
+(** [file:line: [rule] message] — the gating format CI greps for. *)
+
+val lint_source :
+  ?event_kinds:string list -> path:string -> source:string -> unit -> finding list
+(** Run every per-file rule on one compilation unit. [path] is the
+    repo-relative path and selects rule scopes (e.g. [lib/apps/] for
+    [no-abort]); it does not need to exist on disk. [event_kinds] are
+    the [Event.kind] constructor names the [event-wildcard] rule keys
+    on (default: rule disabled). Suppression comments in [source] are
+    honoured. *)
+
+val check_event_wiring :
+  event:string * string ->
+  chrome:string * string ->
+  checker:string * string ->
+  finding list
+(** Cross-file rule [event-wiring] over [(path, source)] pairs for
+    event.ml, chrome.ml and checker.ml: every constructor of the
+    variant type [kind] must appear in a pattern of all three files. *)
+
+val check_counter_export :
+  system:string * string ->
+  runner:string * string ->
+  export:string * string ->
+  finding list
+(** Cross-file rule [counter-export] over [(path, source)] pairs for
+    system.ml, runner.ml and export.ml: every mutable field of the
+    record type [counters] must be projected as [System.field] in the
+    runner, and every scalar field of the record type [result] must be
+    projected as [Runner.field] in the export field list. *)
+
+val run : root:string -> int * finding list
+(** Lint every [.ml] under [root/lib] and [root/bin] (skipping [_build]
+    and dotted directories), apply the cross-file rules, honour
+    suppressions, and return (files checked, sorted findings). *)

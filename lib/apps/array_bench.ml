@@ -34,7 +34,7 @@ let app ?(pages = 16_384) ?(page_size = App.page_size) () =
     ctx.App.compute parse_cycles;
     let v = View.read_u64 ctx.App.view (spec.Request.key * 8) in
     if v <> value_of_index spec.Request.key then
-      failwith "array_bench: corrupted value";
+      App.bad_request "array_bench: corrupted value at key %d" spec.Request.key;
     ctx.App.checkpoint ();
     ctx.App.compute finish_cycles
   in

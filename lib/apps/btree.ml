@@ -1,3 +1,4 @@
+module App = Adios_core.App
 module View = Adios_mem.View
 
 let page_size = 4096
@@ -23,7 +24,8 @@ type t = {
 }
 
 let alloc_node t view ~leaf =
-  if t.next_page >= t.region_pages then failwith "Btree: node region exhausted";
+  if t.next_page >= t.region_pages then
+    App.bad_request "Btree: node region exhausted (%d pages)" t.region_pages;
   let addr = t.region_base + (t.next_page * page_size) in
   t.next_page <- t.next_page + 1;
   View.write_int view (addr + off_tag) (if leaf then 1 else 0);

@@ -28,8 +28,8 @@ let app ?(params = Ivf.default_params) ?(k = 10) () =
     }
   in
   let handle (ctx : App.ctx) (spec : Request.spec) =
-    let idx = match !index with Some i -> i | None -> assert false in
-    let qs = match !queries with Some q -> q | None -> assert false in
+    let idx = App.require "faiss index" !index in
+    let qs = App.require "faiss query source" !queries in
     ctx.App.compute parse_cycles;
     let qrng = Rng.create spec.Request.key in
     let q, _true_list = Ivf.query qs qrng in
@@ -41,7 +41,9 @@ let app ?(params = Ivf.default_params) ?(k = 10) () =
           ctx.App.checkpoint ())
         ~k q
     in
-    if results = [] then failwith "faiss: empty result set"
+    match results with
+    | [] -> App.bad_request "faiss: empty result set"
+    | _ :: _ -> ()
   in
   {
     App.name = "faiss-ivf";

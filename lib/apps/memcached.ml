@@ -51,7 +51,7 @@ let app ?keys ?(value_bytes = 128) ?(zipf_theta = 0.) ?(set_fraction = 0.) () =
       }
   in
   let handle (ctx : App.ctx) (spec : Request.spec) =
-    let store = match !store with Some s -> s | None -> assert false in
+    let store = App.require "memcached store" !store in
     ctx.App.compute parse_cycles;
     ctx.App.compute hash_cycles;
     (* the only preemption probe a straight-line GET has sits at the
@@ -63,11 +63,11 @@ let app ?keys ?(value_bytes = 128) ?(zipf_theta = 0.) ?(set_fraction = 0.) () =
       ctx.App.compute
         (int_of_float (copy_cycles_per_byte *. float_of_int value_bytes));
       if not (Kvstore.put store ctx.App.view key fresh) then
-        failwith "memcached: SET on missing key"
+        App.bad_request "memcached: SET on missing key %d" spec.Request.key
     end
     else
       match Kvstore.get store ctx.App.view key with
-      | None -> failwith "memcached: key vanished"
+      | None -> App.bad_request "memcached: key %d vanished" spec.Request.key
       | Some value ->
         ctx.App.compute compare_cycles;
         ctx.App.compute

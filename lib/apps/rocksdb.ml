@@ -38,14 +38,14 @@ let app ?keys ?(value_bytes = 1024) ?(scan_fraction = 0.01)
   in
   let copy_cost bytes = int_of_float (copy_cycles_per_byte *. float_of_int bytes) in
   let handle (ctx : App.ctx) (spec : Request.spec) =
-    let store = match !store with Some s -> s | None -> assert false in
+    let store = App.require "rocksdb store" !store in
     ctx.App.compute parse_cycles;
     if spec.Request.kind = kind_get then begin
       (* straight-line GET: the probe is before the paged read *)
       ctx.App.checkpoint ();
       ctx.App.compute seek_cycles;
       match Scanstore.get store ctx.App.view spec.Request.key with
-      | None -> failwith "rocksdb: missing key"
+      | None -> App.bad_request "rocksdb: missing key %d" spec.Request.key
       | Some v -> ctx.App.compute (copy_cost (String.length v))
     end
     else begin
@@ -57,7 +57,8 @@ let app ?keys ?(value_bytes = 1024) ?(scan_fraction = 0.01)
             ctx.App.checkpoint ())
           spec.Request.key scan_length
       in
-      if visited = 0 then failwith "rocksdb: empty scan"
+      if visited = 0 then
+        App.bad_request "rocksdb: empty scan at key %d" spec.Request.key
     end
   in
   {

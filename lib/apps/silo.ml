@@ -32,7 +32,7 @@ let app ?(config = Tpcc.default_config) () =
     }
   in
   let handle (ctx : App.ctx) (spec : Request.spec) =
-    let db = match !db with Some d -> d | None -> assert false in
+    let db = App.require "silo database" !db in
     let w, d, c = unpack spec.Request.key in
     ctx.App.compute txn_base_cycles;
     let tick () =
@@ -48,7 +48,7 @@ let app ?(config = Tpcc.default_config) () =
       | 4 ->
         Tpcc.stock_level ~tick db ctx.App.view ~w ~d
           ~threshold:(10 + Rng.int ctx.App.rng 11)
-      | k -> failwith (Printf.sprintf "silo: unknown transaction kind %d" k)
+      | k -> App.bad_request "silo: unknown transaction kind %d" k
     in
     match result with Tpcc.Committed _ | Tpcc.Skipped -> ()
   in

@@ -1,3 +1,16 @@
+(* A malformed or unsatisfiable request. Handlers raise it (through
+   [bad_request] / [require]) instead of aborting the process; the
+   worker catches it at the task boundary and surfaces the failure as an
+   error reply through [Request.errored], so request conservation holds
+   and one bad request cannot take down the simulation. *)
+exception Bad_request of string
+
+let bad_request fmt = Printf.ksprintf (fun msg -> raise (Bad_request msg)) fmt
+
+let require what = function
+  | Some v -> v
+  | None -> raise (Bad_request (what ^ ": not initialised"))
+
 type ctx = {
   view : Adios_mem.View.t;
   compute : int -> unit;

@@ -7,6 +7,21 @@
     on every system under test — like the paper's apps, which only add a
     remote-memory mmap flag. *)
 
+exception Bad_request of string
+(** A malformed or unsatisfiable request. The worker catches it at the
+    task boundary and completes the request as an error reply
+    ([Request.errored]) instead of aborting the simulation — the only
+    sanctioned failure mode on a request-serving path (the [no-abort]
+    lint rule rejects [failwith] / [assert false] there). *)
+
+val bad_request : ('a, unit, string, 'b) format4 -> 'a
+(** [bad_request fmt ...] raises {!Bad_request} with a formatted message. *)
+
+val require : string -> 'a option -> 'a
+(** [require what o] unwraps [o], raising {!Bad_request} ["what: not
+    initialised"] when it is [None] — for app state built before the
+    clock starts (stores, indexes) that a handler needs. *)
+
 type ctx = {
   view : Adios_mem.View.t;
       (** paged access to the working set; reads may block the caller *)

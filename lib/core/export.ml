@@ -42,6 +42,13 @@ let fields : (string * (Runner.result -> string)) list =
     ("retries_hwm", fun r -> string_of_int r.Runner.retries_hwm);
     ("faults_injected", fun r -> string_of_int r.Runner.faults_injected);
     ("drops_qp", fun r -> string_of_int r.Runner.drops_qp);
+    (* conservation-audit columns: also appended, so both the 23-column
+       clean prefix and the fault block keep their positions *)
+    ("admitted", fun r -> string_of_int r.Runner.admitted);
+    ("handled", fun r -> string_of_int r.Runner.handled);
+    ("completed", fun r -> string_of_int r.Runner.completed);
+    ("dropped", fun r -> string_of_int r.Runner.dropped);
+    ("buffer_hwm", fun r -> string_of_int r.Runner.buffer_hwm);
   ]
 
 let csv_header = String.concat "," (List.map fst fields)

@@ -31,6 +31,8 @@ type result = {
   drops_queue : int;
   drops_buffer : int;
   prefetches : int * int * int;
+  admitted : int;
+  handled : int;
   completed : int;
   dropped : int;
   buffer_hwm : int;
@@ -190,6 +192,8 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
        ( ps.Adios_mem.Prefetcher.issued,
          ps.Adios_mem.Prefetcher.useful,
          ps.Adios_mem.Prefetcher.wasted ));
+    admitted = counters.System.admitted;
+    handled = counters.System.handled;
     completed = !replies;
     dropped = drops ();
     buffer_hwm =

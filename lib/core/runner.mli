@@ -28,6 +28,8 @@ type result = {
   drops_queue : int;  (** arrivals rejected: central queue full *)
   drops_buffer : int;  (** arrivals rejected: buffer pool exhausted *)
   prefetches : int * int * int;  (** issued, useful, wasted *)
+  admitted : int;  (** arrivals accepted into the central queue *)
+  handled : int;  (** handler invocations (first dispatch per request) *)
   completed : int;
   dropped : int;
   buffer_hwm : int;  (** peak unithread buffers in use *)

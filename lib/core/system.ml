@@ -572,8 +572,9 @@ let run_entry t w e =
     let ctx = make_ctx t e in
     let task =
       Task.create (fun () ->
-          try t.app.App.handle ctx e.req.Request.spec
-          with Fetch_failed _ -> e.req.Request.errored <- true)
+          try t.app.App.handle ctx e.req.Request.spec with
+          | Fetch_failed _ -> e.req.Request.errored <- true
+          | App.Bad_request _ -> e.req.Request.errored <- true)
     in
     e.task <- Some task;
     step_task t e task
@@ -663,7 +664,8 @@ let rec worker_loop t (w : worker) =
    round-robin baseline rotates from the cursor instead. *)
 let dispatch_order t =
   let idle =
-    Array.to_list t.workers |> List.filter (fun w -> w.idle && w.assigned = None)
+    Array.to_list t.workers
+    |> List.filter (fun w -> w.idle && Option.is_none w.assigned)
   in
   match t.cfg.Config.dispatch with
   | Config.Pf_aware ->
@@ -705,7 +707,10 @@ let rec dispatcher_loop t =
       | order ->
         List.iter
           (fun w ->
-            if (not (Queue.is_empty t.pending)) && w.idle && w.assigned = None
+            if
+              (not (Queue.is_empty t.pending))
+              && w.idle
+              && Option.is_none w.assigned
             then begin
               let e = Queue.pop t.pending in
               Proc.wait Params.dispatch_cycles;

@@ -174,7 +174,7 @@ let check ?(strict = true) events =
         | Some (wr, ts) when ts = e.ts ->
           Hashtbl.replace current_wr e.page wr;
           pending_wqe := None
-        | _ -> ());
+        | Some _ | None -> ());
         let n =
           match Hashtbl.find_opt rdma_open e.page with Some n -> n | None -> 0
         in

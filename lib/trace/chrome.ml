@@ -25,9 +25,9 @@ let to_json ?(cycles_per_us = 2000) events =
     Buffer.add_string buf line
   in
   let args_of (e : Event.t) =
-    let parts = [] in
-    let parts = if e.page >= 0 then [ Printf.sprintf "\"page\":%d" e.page ]
-      else parts in
+    let parts =
+      if e.page >= 0 then [ Printf.sprintf "\"page\":%d" e.page ] else []
+    in
     let parts =
       if e.req >= 0 then Printf.sprintf "\"req\":%d" e.req :: parts else parts
     in
@@ -73,7 +73,13 @@ let to_json ?(cycles_per_us = 2000) events =
       (match e.kind with
       | Event.Wqe_post | Event.Cqe | Event.Fault_injected ->
         Hashtbl.replace tids tid_nic "nic"
-      | _ -> ());
+      | Event.Req_enqueue | Event.Req_drop_queue | Event.Req_drop_buffer
+      | Event.Dispatch | Event.Run_begin | Event.Run_end | Event.Fault_begin
+      | Event.Fault_end | Event.Coalesce | Event.Rdma_issue
+      | Event.Rdma_complete | Event.Tx_submit | Event.Tx_complete
+      | Event.Evict | Event.Reclaim_begin | Event.Reclaim_end | Event.Preempt
+      | Event.Stall_qp | Event.Stall_frame | Event.Stall_buffer
+      | Event.Fetch_timeout | Event.Fetch_retry | Event.Req_error -> ());
       if e.worker = Event.reclaimer_actor then
         Hashtbl.replace tids tid_reclaimer "reclaimer"
       else if e.worker >= 0 then

@@ -170,13 +170,24 @@ let test_zero_fault_matches_baseline () =
         (Config.system_name sys ^ " baseline prefix")
         golden
         (String.concat "," (take 23 cols));
-      List.iteri
-        (fun i c ->
-          if i >= 23 then
+      let fault_columns =
+        [
+          "errored";
+          "fetch_timeouts";
+          "fetch_retries";
+          "retries_hwm";
+          "faults_injected";
+          "drops_qp";
+        ]
+      in
+      List.iter2
+        (fun name c ->
+          if List.mem name fault_columns then
             check_string
-              (Printf.sprintf "%s fault column %d idle" (Config.system_name sys)
-                 i)
+              (Printf.sprintf "%s fault column %s idle"
+                 (Config.system_name sys) name)
               "0" c)
+        (split_csv Export.csv_header)
         cols)
     golden_rows
 

@@ -1,0 +1,347 @@
+(* adios-lint tests: one positive and one negative fixture per rule,
+   the cross-file wiring checks on synthetic sources, the suppression
+   grammar, and a self-check that the repository as committed lints
+   clean (the same gate CI enforces). *)
+
+module Lint = Adios_analysis.Lint
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
+let check_string = check Alcotest.string
+
+let lint ?event_kinds ~path source = Lint.lint_source ?event_kinds ~path ~source ()
+
+let rules_of fs = List.map (fun f -> f.Lint.rule) fs
+let fires rule fs = List.mem rule (rules_of fs)
+
+let check_fires msg rule fs = check_bool msg true (fires rule fs)
+let check_clean msg fs =
+  check (Alcotest.list Alcotest.string) msg [] (List.map Lint.to_string fs)
+
+(* Every fixture below targets a rule name that must actually exist. *)
+let test_rule_names () =
+  List.iter
+    (fun r -> check_bool ("rule registered: " ^ r) true (List.mem r Lint.rule_names))
+    [
+      "determinism";
+      "event-wildcard";
+      "event-wiring";
+      "counter-export";
+      "poly-compare";
+      "float-equal";
+      "no-abort";
+      "unused-shadow";
+      "suppress-reason";
+      "parse-error";
+    ]
+
+let test_to_string () =
+  check_string "gating format" "lib/core/a.ml:3: [no-abort] boom"
+    (Lint.to_string
+       { Lint.file = "lib/core/a.ml"; line = 3; rule = "no-abort"; msg = "boom" })
+
+(* --- determinism ------------------------------------------------------- *)
+
+let test_determinism () =
+  List.iter
+    (fun src ->
+      check_fires ("forbidden: " ^ src) "determinism"
+        (lint ~path:"lib/core/foo.ml" ("let f () = " ^ src)))
+    [
+      "Random.int 5";
+      "Random.self_init ()";
+      "Stdlib.Random.bits ()";
+      "Unix.gettimeofday ()";
+      "Sys.time ()";
+      "Hashtbl.hash 42";
+      "Hashtbl.seeded_hash 1 42";
+    ];
+  check_clean "bin is in scope but Rng calls are fine"
+    (lint ~path:"bin/adios_sim.ml" "let f rng = Adios_engine.Rng.int rng 5");
+  check_fires "bin is in scope" "determinism"
+    (lint ~path:"bin/adios_sim.ml" "let f () = Random.int 5")
+
+let test_determinism_exempt () =
+  check_clean "rng.ml may seed itself"
+    (lint ~path:"lib/engine/rng.ml" "let f () = Random.int 5");
+  check_clean "clock.ml may read wall time"
+    (lint ~path:"lib/engine/clock.ml" "let f () = Unix.gettimeofday ()")
+
+(* --- event-wildcard ---------------------------------------------------- *)
+
+let kinds = [ "Alpha"; "Beta"; "Gamma" ]
+
+let test_event_wildcard () =
+  check_fires "catch-all over kind constructors" "event-wildcard"
+    (lint ~event_kinds:kinds ~path:"lib/trace/x.ml"
+       "let f = function Alpha -> 1 | _ -> 0");
+  check_fires "variable catch-all too" "event-wildcard"
+    (lint ~event_kinds:kinds ~path:"lib/trace/x.ml"
+       "let f k = match k with Beta -> 1 | other -> ignore other; 0")
+
+let test_event_wildcard_negative () =
+  check_clean "exhaustive match is fine"
+    (lint ~event_kinds:kinds ~path:"lib/trace/x.ml"
+       "let f = function Alpha -> 1 | Beta -> 2 | Gamma -> 3");
+  check_clean "wildcards over other types are fine"
+    (lint ~event_kinds:kinds ~path:"lib/trace/x.ml"
+       "let f = function Some x -> x | _ -> 0");
+  check_clean "rule disabled without the kind list"
+    (lint ~path:"lib/trace/x.ml" "let f = function Alpha -> 1 | _ -> 0")
+
+(* --- poly-compare ------------------------------------------------------ *)
+
+let test_poly_compare () =
+  check_fires "= None" "poly-compare"
+    (lint ~path:"lib/core/x.ml" "let f a = a = None");
+  check_fires "<> Some" "poly-compare"
+    (lint ~path:"lib/rdma/x.ml" "let f a = a <> Some 3");
+  check_fires "compare on a list" "poly-compare"
+    (lint ~path:"lib/mem/x.ml" "let f a = compare a [ 1; 2 ]");
+  check_fires "compare passed as a function" "poly-compare"
+    (lint ~path:"lib/core/x.ml" "let f xs = List.sort compare xs")
+
+let test_poly_compare_scope () =
+  check_clean "apps are out of scope"
+    (lint ~path:"lib/apps/x.ml" "let f a = a = None");
+  check_clean "scalar comparisons are fine"
+    (lint ~path:"lib/core/x.ml" "let f a b = a = b")
+
+(* --- float-equal ------------------------------------------------------- *)
+
+let test_float_equal () =
+  check_fires "= literal" "float-equal"
+    (lint ~path:"lib/stats/x.ml" "let f x = x = 0.5");
+  check_fires "<> negated literal" "float-equal"
+    (lint ~path:"lib/stats/x.ml" "let f x = x <> -0.5");
+  check_clean "ordering against a literal is fine"
+    (lint ~path:"lib/stats/x.ml" "let f x = x > 0.5")
+
+(* --- no-abort ---------------------------------------------------------- *)
+
+let test_no_abort () =
+  check_fires "failwith in apps" "no-abort"
+    (lint ~path:"lib/apps/foo.ml" "let f () = failwith \"x\"");
+  check_fires "assert false in apps" "no-abort"
+    (lint ~path:"lib/apps/foo.ml" "let f = function Some v -> v | None -> assert false")
+
+let test_no_abort_scope () =
+  check_clean "core may abort on internal invariants"
+    (lint ~path:"lib/core/foo.ml" "let f () = failwith \"x\"");
+  check_clean "ordinary asserts are fine in apps"
+    (lint ~path:"lib/apps/foo.ml" "let f x = assert (x > 0)")
+
+(* --- unused-shadow ----------------------------------------------------- *)
+
+let test_unused_shadow () =
+  check_fires "dead immediately-shadowed binding" "unused-shadow"
+    (lint ~path:"lib/trace/x.ml"
+       "let f () = let parts = [] in let parts = [ 1 ] in parts");
+  check_clean "rebinding that uses the old value is fine"
+    (lint ~path:"lib/trace/x.ml"
+       "let f () = let parts = [] in let parts = 1 :: parts in parts");
+  check_clean "distinct names are fine"
+    (lint ~path:"lib/trace/x.ml" "let f () = let a = [] in let b = [ 1 ] in (a, b)")
+
+(* --- parse-error ------------------------------------------------------- *)
+
+let test_parse_error () =
+  check_fires "unparseable source is a finding, not an exception" "parse-error"
+    (lint ~path:"lib/core/bad.ml" "let let =")
+
+(* --- suppressions ------------------------------------------------------ *)
+
+(* Assembled so no linted file ever contains the literal marker. *)
+let allow = "lint:" ^ " allow"
+
+let test_suppression_with_reason () =
+  let src =
+    Printf.sprintf "let f () = failwith \"x\" (* %s no-abort -- fixture *)" allow
+  in
+  check_clean "reasoned suppression silences the finding"
+    (lint ~path:"lib/apps/foo.ml" src);
+  let above =
+    Printf.sprintf "(* %s no-abort -- fixture *)\nlet f () = failwith \"x\"" allow
+  in
+  check_clean "line-above placement works" (lint ~path:"lib/apps/foo.ml" above)
+
+let test_suppression_needs_reason () =
+  let src = Printf.sprintf "let f () = failwith \"x\" (* %s no-abort *)" allow in
+  let fs = lint ~path:"lib/apps/foo.ml" src in
+  check_fires "missing reason is itself a finding" "suppress-reason" fs;
+  check_fires "and the original finding survives" "no-abort" fs
+
+let test_suppression_unknown_rule () =
+  let src = Printf.sprintf "let f () = failwith \"x\" (* %s nonsense -- r *)" allow in
+  let fs = lint ~path:"lib/apps/foo.ml" src in
+  check_fires "unknown rule is rejected" "suppress-reason" fs;
+  check_fires "and suppresses nothing" "no-abort" fs
+
+let test_suppression_only_named_rule () =
+  let src =
+    Printf.sprintf
+      "let f a = a = None (* %s float-equal -- wrong rule named *)" allow
+  in
+  check_fires "a suppression only covers the rules it names" "poly-compare"
+    (lint ~path:"lib/core/x.ml" src)
+
+(* --- event wiring (cross-file) ----------------------------------------- *)
+
+let event_src =
+  "type kind = Alpha | Beta\n\
+   let kind_name = function Alpha -> \"alpha\" | Beta -> \"beta\"\n"
+
+let chrome_full = "let phase = function Alpha -> 'B' | Beta -> 'E'\n"
+let checker_full = "let check = function Alpha -> () | Beta -> ()\n"
+
+let wiring ~chrome ~checker =
+  Lint.check_event_wiring
+    ~event:("lib/trace/event.ml", event_src)
+    ~chrome:("lib/trace/chrome.ml", chrome)
+    ~checker:("lib/trace/checker.ml", checker)
+
+let test_event_wiring_clean () =
+  check_clean "fully wired kinds" (wiring ~chrome:chrome_full ~checker:checker_full)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
+let test_event_wiring_missing () =
+  (* Beta missing from the exporter: the simulated "added a constructor
+     without wiring it" scenario must fail the lint. *)
+  let fs = wiring ~chrome:"let phase = function Alpha -> 'B'\n" ~checker:checker_full in
+  check_int "exactly one gap" 1 (List.length fs);
+  let f = List.hd fs in
+  check_string "rule" "event-wiring" f.Lint.rule;
+  check_string "anchored at the declaration" "lib/trace/event.ml" f.Lint.file;
+  check_bool "names the constructor" true (contains_sub f.Lint.msg "Beta")
+
+let test_event_wiring_missing_everywhere () =
+  let fs =
+    wiring ~chrome:"let phase = function Alpha -> 'B'\n"
+      ~checker:"let check = function Alpha -> ()\n"
+  in
+  check_int "one gap per missing mapping" 2 (List.length fs)
+
+(* --- counter/export (cross-file) --------------------------------------- *)
+
+let counters ~system ~runner ~export =
+  Lint.check_counter_export
+    ~system:("lib/core/system.ml", system)
+    ~runner:("lib/core/runner.ml", runner)
+    ~export:("lib/core/export.ml", export)
+
+let sys_ok = "type counters = { mutable faults : int }\n"
+let run_ok = "type result = { faults : int }\nlet get c = c.System.faults\n"
+let exp_ok = "let f r = string_of_int r.Runner.faults\n"
+
+let test_counter_export_clean () =
+  check_clean "wired counter" (counters ~system:sys_ok ~runner:run_ok ~export:exp_ok)
+
+let test_counter_unread () =
+  (* the "added a Params counter without wiring it" scenario *)
+  let fs =
+    counters
+      ~system:"type counters = { mutable faults : int; mutable orphan : int }\n"
+      ~runner:run_ok ~export:exp_ok
+  in
+  check_int "one unread counter" 1 (List.length fs);
+  check_string "rule" "counter-export" (List.hd fs).Lint.rule;
+  check_string "anchored in system.ml" "lib/core/system.ml" (List.hd fs).Lint.file
+
+let test_result_field_unexported () =
+  let fs =
+    counters ~system:sys_ok
+      ~runner:
+        "type result = { faults : int; hidden : int }\nlet get c = c.System.faults\n"
+      ~export:exp_ok
+  in
+  check_int "one unexported field" 1 (List.length fs);
+  check_string "anchored in runner.ml" "lib/core/runner.ml" (List.hd fs).Lint.file
+
+let test_non_scalar_fields_exempt () =
+  check_clean "histograms etc. need no CSV column"
+    (counters ~system:sys_ok
+       ~runner:
+         "type result = { faults : int; hist : Histogram.t }\n\
+          let get c = c.System.faults\n"
+       ~export:exp_ok)
+
+(* --- repository self-check --------------------------------------------- *)
+
+let repo_root () =
+  let rec up d =
+    if
+      Sys.file_exists (Filename.concat d "dune-project")
+      && Sys.file_exists (Filename.concat d ".git")
+    then Some d
+    else
+      let parent = Filename.dirname d in
+      if String.equal parent d then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let test_repo_lints_clean () =
+  match repo_root () with
+  | None -> Alcotest.fail "repository root not found from cwd"
+  | Some root ->
+    let nfiles, findings = Lint.run ~root in
+    check_bool "scanned the whole tree" true (nfiles >= 40);
+    check (Alcotest.list Alcotest.string) "repo is lint-clean" []
+      (List.map Lint.to_string findings)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "meta",
+        [
+          Alcotest.test_case "rule names" `Quick test_rule_names;
+          Alcotest.test_case "finding format" `Quick test_to_string;
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "forbidden calls" `Quick test_determinism;
+          Alcotest.test_case "boundary exemptions" `Quick test_determinism_exempt;
+        ] );
+      ( "event-wildcard",
+        [
+          Alcotest.test_case "catch-alls flagged" `Quick test_event_wildcard;
+          Alcotest.test_case "exhaustive ok" `Quick test_event_wildcard_negative;
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "poly-compare scope" `Quick test_poly_compare_scope;
+          Alcotest.test_case "float-equal" `Quick test_float_equal;
+          Alcotest.test_case "no-abort" `Quick test_no_abort;
+          Alcotest.test_case "no-abort scope" `Quick test_no_abort_scope;
+          Alcotest.test_case "unused-shadow" `Quick test_unused_shadow;
+        ] );
+      ( "suppressions",
+        [
+          Alcotest.test_case "with reason" `Quick test_suppression_with_reason;
+          Alcotest.test_case "reason required" `Quick test_suppression_needs_reason;
+          Alcotest.test_case "unknown rule" `Quick test_suppression_unknown_rule;
+          Alcotest.test_case "rule-scoped" `Quick test_suppression_only_named_rule;
+        ] );
+      ( "wiring",
+        [
+          Alcotest.test_case "clean" `Quick test_event_wiring_clean;
+          Alcotest.test_case "missing exporter" `Quick test_event_wiring_missing;
+          Alcotest.test_case "missing twice" `Quick
+            test_event_wiring_missing_everywhere;
+        ] );
+      ( "counter-export",
+        [
+          Alcotest.test_case "clean" `Quick test_counter_export_clean;
+          Alcotest.test_case "unread counter" `Quick test_counter_unread;
+          Alcotest.test_case "unexported field" `Quick test_result_field_unexported;
+          Alcotest.test_case "non-scalar exempt" `Quick test_non_scalar_fields_exempt;
+        ] );
+      ( "self-check",
+        [ Alcotest.test_case "repository lints clean" `Quick test_repo_lints_clean ] );
+    ]
