@@ -6,7 +6,12 @@
      ADIOS_BENCH_SCALE   float multiplier on request counts (default 1.0;
                          use 0.2 for a quick pass)
      ADIOS_BENCH_ONLY    comma-separated experiment ids to run
-                         (e.g. "fig7,fig10"); default: everything *)
+                         (e.g. "fig7,fig10"); default: everything
+     ADIOS_BENCH_SEED    integer seed threaded into every simulator RNG
+                         (default 42); the same seed replays the same run
+                         bit-for-bit
+     ADIOS_BENCH_JOBS    worker processes per sweep (default 1); results
+                         are identical at any job count *)
 
 module Config = Adios_core.Config
 module Runner = Adios_core.Runner
@@ -32,22 +37,58 @@ let only =
 let want id = only = [] || List.mem id only
 let reqs n = max 2_000 (int_of_float (float_of_int n *. scale))
 
+let bench_seed =
+  match Sys.getenv_opt "ADIOS_BENCH_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 42)
+  | None -> 42
+
+let jobs =
+  match Sys.getenv_opt "ADIOS_BENCH_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+(* Every experiment derives its config from here, so ADIOS_BENCH_SEED
+   reseeds the whole harness: the seed reaches Engine.Rng through
+   Config.seed, and a full-scale run replays exactly under the same
+   seed. *)
+let base_cfg sys = { (Config.default sys) with Config.seed = bench_seed }
+
 let all_systems = [ Config.Hermit; Config.Dilos; Config.Dilos_p; Config.Adios ]
 
-(* run one (system, app) sweep over offered loads *)
+(* Run one (app x systems x loads) sweep through the lib/exp runner:
+   points fan out over ADIOS_BENCH_JOBS worker processes. The harness
+   seed is pinned onto every point (historical bench behaviour: one
+   seed per run, not per point), so results at any job count match a
+   sequential run bit-for-bit. *)
 let sweep ?(cfg_tweak = fun c -> c) systems app loads ~requests =
+  let spec =
+    Adios_exp.Spec.
+      {
+        name = app.Adios_core.App.name;
+        systems;
+        apps = [ (app.Adios_core.App.name, fun () -> app) ];
+        loads;
+        requests;
+        seed = bench_seed;
+        fault = Adios_fault.Injector.none;
+        fetch_timeout_us = 0.;
+        fetch_retries = 3;
+        local_ratio = None;
+      }
+  in
+  let cfg_tweak c = cfg_tweak { c with Config.seed = bench_seed } in
+  let results =
+    Adios_exp.Sweep.run ~jobs ~cfg_tweak
+      ~progress:(fun _ r -> Report.result_line r)
+      spec
+  in
   List.map
     (fun sys ->
-      let cfg = cfg_tweak (Config.default sys) in
-      let rs =
-        List.map
-          (fun load ->
-            let r = Runner.run cfg app ~offered_krps:load ~requests () in
-            Report.result_line r;
-            r)
-          loads
-      in
-      (Config.system_name sys, rs))
+      ( Config.system_name sys,
+        List.filter_map
+          (fun ((p : Adios_exp.Spec.point), r) ->
+            if p.Adios_exp.Spec.system = sys then Some r else None)
+          results ))
     systems
 
 let nearest_load results target =
@@ -180,8 +221,8 @@ let fig7 () =
   Report.util_vs_load ~title:"fig7(e) RDMA utilization: DiLOS vs Adios"
     [ ("DiLOS", get_series "DiLOS"); ("Adios", get_series "Adios") ];
   Report.summary_speedups ~baseline:"DiLOS" series;
-  Adios_core.Export.write_csv ~path:"microbench_sweep.csv" series;
-  pf "(raw rows exported to microbench_sweep.csv)\n" 
+  pf "(raw rows: bin/adios_sweep exports this sweep as CSV; see \
+      EXPERIMENTS.md)\n"
 
 let fig8 () =
   Report.header "Figure 8: sensitivity to local DRAM size (array microbench)";
@@ -192,9 +233,7 @@ let fig8 () =
     (fun sys ->
       List.iter
         (fun ratio ->
-          let cfg =
-            { (Config.default sys) with Config.local_ratio = ratio }
-          in
+          let cfg = { (base_cfg sys) with Config.local_ratio = ratio } in
           let rs =
             List.map
               (fun load ->
@@ -350,7 +389,7 @@ let ablate_reclaimer () =
         (fun load ->
           let cfg =
             {
-              (Config.default Config.Adios) with
+              (base_cfg Config.Adios) with
               Config.reclaim = mode;
               reclaim_config = pressured;
               local_ratio = 0.05;
@@ -410,7 +449,7 @@ let ablate_prefetch () =
         (fun sys ->
           List.iter
             (fun pf ->
-              let cfg = { (Config.default sys) with Config.prefetch = pf } in
+              let cfg = { (base_cfg sys) with Config.prefetch = pf } in
               let r =
                 Runner.run cfg app ~offered_krps:load ~requests:(reqs 25_000) ()
               in
@@ -434,7 +473,7 @@ let ablate_dispatch () =
     (fun sys ->
       List.iter
         (fun disp ->
-          let cfg = { (Config.default sys) with Config.dispatch = disp } in
+          let cfg = { (base_cfg sys) with Config.dispatch = disp } in
           let r = Runner.run cfg app ~offered_krps:850. ~requests:(reqs 25_000) () in
           let get = List.assoc "GET" r.Runner.kind_summaries in
           pf "%-8s %-14s GET p50=%8.2fus  GET p99.9=%9.2fus  achieved=%5.0f\n"
@@ -453,7 +492,7 @@ let ablate_workers () =
   let app = micro_app () in
   List.iter
     (fun workers ->
-      let cfg = { (Config.default Config.Adios) with Config.workers } in
+      let cfg = { (base_cfg Config.Adios) with Config.workers } in
       (* drive each configuration well past its per-worker knee *)
       let load = 350. *. float_of_int workers in
       let r = Runner.run cfg app ~offered_krps:load ~requests:(reqs 40_000) () in
@@ -472,7 +511,7 @@ let ablate_huge_pages () =
     (fun (label, page_size, pages, load) ->
       let app = Adios_apps.Array_bench.app ~pages ~page_size () in
       let app = { app with Adios_core.App.name = label } in
-      let cfg = Config.default Config.Adios in
+      let cfg = base_cfg Config.Adios in
       let r = Runner.run cfg app ~offered_krps:load ~requests:(reqs 20_000) () in
       pf "%-10s load=%5.0f achieved=%5.0f krps  p50=%9.2fus  p99.9=%10.2fus  util=%5.1f%%\n"
         label load r.Runner.achieved_krps
@@ -494,7 +533,7 @@ let ablate_qp_depth () =
   let app = micro_app () in
   List.iter
     (fun depth ->
-      let cfg = { (Config.default Config.Adios) with Config.qp_depth = depth } in
+      let cfg = { (base_cfg Config.Adios) with Config.qp_depth = depth } in
       let r = Runner.run cfg app ~offered_krps:2400. ~requests:(reqs 40_000) () in
       pf "qp_depth=%4d  achieved=%7.0f krps  p99.9=%9.2f us  qp_stalls=%d\n"
         depth r.Runner.achieved_krps

@@ -32,33 +32,10 @@ let system_conv =
   let print ppf s = Format.pp_print_string ppf (Config.system_name s) in
   Cmdliner.Arg.conv (parse, print)
 
-let app_names =
-  [
-    "array";
-    "memcached";
-    "memcached-1024";
-    "rocksdb";
-    "rocksdb-scan";
-    "silo";
-    "faiss";
-  ]
-
-let app_of_name = function
-  | "array" -> Ok (Adios_apps.Array_bench.app ())
-  | "memcached" | "memcached-128" -> Ok (Adios_apps.Memcached.app ())
-  | "memcached-1024" -> Ok (Adios_apps.Memcached.app ~value_bytes:1024 ())
-  | "rocksdb" -> Ok (Adios_apps.Rocksdb.app ())
-  | "rocksdb-scan" ->
-    (* SCAN-heavy mix: 20x the default scan share, for stride-prefetch
-       and preemption experiments *)
-    Ok (Adios_apps.Rocksdb.app ~scan_fraction:0.2 ())
-  | "silo" -> Ok (Adios_apps.Silo.app ())
-  | "faiss" -> Ok (Adios_apps.Faiss.app ())
-  | s ->
-    Error
-      (`Msg
-         (Printf.sprintf "unknown app %S (valid: %s)" s
-            (String.concat ", " app_names)))
+let app_of_name s =
+  match Adios_apps.Registry.find s with
+  | Some make -> Ok (make ())
+  | None -> Error (`Msg (Adios_apps.Registry.unknown s))
 
 let app_conv =
   let print ppf (a : Adios_core.App.t) =

@@ -49,9 +49,14 @@ let fields : (string * (Runner.result -> string)) list =
     ("completed", fun r -> string_of_int r.Runner.completed);
     ("dropped", fun r -> string_of_int r.Runner.dropped);
     ("buffer_hwm", fun r -> string_of_int r.Runner.buffer_hwm);
+    (* appended for the conservation oracle in lib/exp: with the injected
+       request count on the row, completed + dropped = requests is
+       checkable from the CSV alone *)
+    ("requests", fun r -> string_of_int r.Runner.requests);
   ]
 
-let csv_header = String.concat "," (List.map fst fields)
+let column_names = List.map fst fields
+let csv_header = String.concat "," column_names
 let csv_row r = String.concat "," (List.map (fun (_, f) -> f r) fields)
 
 let to_csv sweeps =

@@ -6,6 +6,10 @@ val fields : (string * (Runner.result -> string)) list
     {!csv_row} are both derived from this, so header and row arity
     always match. *)
 
+val column_names : string list
+(** Column names of {!fields}, in order; the single source of truth the
+    sweep dataset layer and the golden header test build on. *)
+
 val csv_header : string
 (** Column names of {!csv_row}, comma-separated. *)
 

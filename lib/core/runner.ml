@@ -13,6 +13,7 @@ module Timeline = Adios_trace.Timeline
 type result = {
   system : string;
   app : string;
+  requests : int;
   offered_krps : float;
   achieved_krps : float;
   drop_fraction : float;
@@ -169,6 +170,7 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
   {
     system = Config.system_name cfg.Config.system;
     app = app.App.name;
+    requests;
     offered_krps = offered_window;
     achieved_krps = float_of_int !recorded /. window_sec /. 1000.;
     drop_fraction =

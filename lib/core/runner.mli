@@ -8,6 +8,7 @@
 type result = {
   system : string;
   app : string;
+  requests : int;  (** arrivals injected, warmup included *)
   offered_krps : float;  (** offered load over the measurement window *)
   achieved_krps : float;  (** completed replies over the window *)
   drop_fraction : float;  (** dropped / offered within the window *)

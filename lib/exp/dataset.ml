@@ -1,0 +1,136 @@
+module Export = Adios_core.Export
+
+(* Rows are kept as the exact strings that go to (or came from) disk, so
+   store/load round-trips are byte-identical and the same-seed replay
+   check can compare whole datasets with String.equal. Typed access
+   parses on demand; at sweep scale (tens of rows) that costs nothing. *)
+
+type t = { header : string list; rows : string list list }
+
+(* The two spec-side identity columns come first: the *nominal* grid
+   load (offered_krps on the row is the measured rate over the window,
+   which drifts with the arrival draw) and the per-point seed. *)
+let point_columns = [ "load"; "seed" ]
+let columns = point_columns @ Export.column_names
+
+let of_run run =
+  {
+    header = columns;
+    rows =
+      List.map
+        (fun ((p : Spec.point), r) ->
+          Printf.sprintf "%.1f" p.Spec.load
+          :: string_of_int p.Spec.point_seed
+          :: String.split_on_char ',' (Export.csv_row r))
+        run;
+  }
+
+(* --- CSV ---------------------------------------------------------------- *)
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (String.concat "," t.header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," row);
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let of_csv source =
+  let lines =
+    String.split_on_char '\n' source
+    |> List.filter (fun l -> not (String.equal (String.trim l) ""))
+  in
+  match lines with
+  | [] -> Error "empty dataset: no header line"
+  | header_line :: row_lines ->
+    let header = String.split_on_char ',' header_line in
+    let arity = List.length header in
+    let rows = List.map (String.split_on_char ',') row_lines in
+    let rec check i = function
+      | [] -> Ok { header; rows }
+      | row :: rest ->
+        if List.length row <> arity then
+          Error
+            (Printf.sprintf "row %d has %d fields, header has %d" i
+               (List.length row) arity)
+        else check (i + 1) rest
+    in
+    check 1 rows
+
+let store ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | source -> (
+    match of_csv source with
+    | Ok t -> Ok t
+    | Error msg -> Error (path ^ ": " ^ msg))
+  | exception Sys_error msg -> Error msg
+
+(* --- access ------------------------------------------------------------- *)
+
+let length t = List.length t.rows
+
+let column t name =
+  let rec go i = function
+    | [] -> None
+    | c :: _ when String.equal c name -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.header
+
+let get t row name =
+  match column t name with
+  | None -> invalid_arg ("Dataset.get: no column " ^ name)
+  | Some i -> (
+    match List.nth_opt row i with
+    | Some v -> v
+    | None -> invalid_arg ("Dataset.get: short row at column " ^ name))
+
+let getf t row name =
+  let v = get t row name in
+  match float_of_string_opt v with
+  | Some f -> f
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Dataset.getf: column %s holds %S, not a number" name v)
+
+let geti t row name =
+  let v = get t row name in
+  match int_of_string_opt v with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Dataset.geti: column %s holds %S, not an integer" name v)
+
+let filter t ~name ~value =
+  { t with rows = List.filter (fun r -> String.equal (get t r name) value) t.rows }
+
+(* Group rows by a column, preserving first-appearance order of keys and
+   row order within each group. *)
+let group_by t ~name =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      let key = get t row name in
+      if not (Hashtbl.mem tbl key) then begin
+        order := key :: !order;
+        Hashtbl.add tbl key (ref [])
+      end;
+      let cell = Hashtbl.find tbl key in
+      cell := row :: !cell)
+    t.rows;
+  List.rev_map
+    (fun key -> (key, List.rev !(Hashtbl.find tbl key)))
+    !order
+
+let systems t = List.map fst (group_by t ~name:"system")
+let apps t = List.map fst (group_by t ~name:"app")

@@ -1,0 +1,46 @@
+(** Sweep datasets: the rows of a sweep as they appear on disk. Rows are
+    kept as exact strings so [store]/[load] round-trip byte-identically
+    and same-seed replays can be compared with plain string equality;
+    typed access parses on demand.
+
+    Columns are the two spec-side identity fields — [load] (the nominal
+    grid load; [offered_krps] is the measured rate) and [seed] (the
+    per-point seed) — followed by every {!Adios_core.Export} column. *)
+
+type t = { header : string list; rows : string list list }
+
+val point_columns : string list
+val columns : string list
+(** [point_columns @ Adios_core.Export.column_names]. *)
+
+val of_run : (Spec.point * Adios_core.Runner.result) list -> t
+(** Dataset of a {!Sweep.run} result, in run order. *)
+
+val to_csv : t -> string
+val of_csv : string -> (t, string) result
+(** Parse a CSV document; rejects rows whose arity differs from the
+    header's. Blank lines are ignored. *)
+
+val store : path:string -> t -> unit
+val load : path:string -> (t, string) result
+
+val length : t -> int
+val column : t -> string -> int option
+(** Position of a named column in this dataset's header. *)
+
+val get : t -> string list -> string -> string
+(** [get t row name] is [row]'s cell under column [name].
+    @raise Invalid_argument on an unknown column. *)
+
+val getf : t -> string list -> string -> float
+val geti : t -> string list -> string -> int
+
+val filter : t -> name:string -> value:string -> t
+(** Rows whose [name] column equals [value]. *)
+
+val group_by : t -> name:string -> (string * string list list) list
+(** Group rows by a column, preserving first-appearance key order and
+    row order within groups. *)
+
+val systems : t -> string list
+val apps : t -> string list

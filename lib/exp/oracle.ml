@@ -1,0 +1,214 @@
+(* Figure-shape oracles: the paper's headline claims are curve shapes —
+   where each system's P99.9 knee falls, that achieved throughput climbs
+   to a plateau instead of collapsing, and that Adios sustains more load
+   before its knee than every baseline. These checks read a Dataset and
+   turn each shape into a pass/fail, so a model change that flattens
+   Adios's advantage fails `dune runtest` instead of landing silently. *)
+
+type violation = string
+
+(* --- knee detection ----------------------------------------------------- *)
+
+(* Rows of one (system, app) curve, ascending by nominal load. *)
+let curve ds ~system ~app =
+  let ds = Dataset.filter ds ~name:"system" ~value:system in
+  let ds = Dataset.filter ds ~name:"app" ~value:app in
+  List.sort
+    (fun a b -> Float.compare (Dataset.getf ds a "load") (Dataset.getf ds b "load"))
+    ds.Dataset.rows
+
+(* The knee of a latency curve: the first load point whose P99.9 exceeds
+   [k] times the low-load baseline (the curve's first point). None means
+   the curve never collapses within the grid — the system sustains every
+   offered load swept. *)
+let knee ?(k = 3.) ds ~system ~app =
+  match curve ds ~system ~app with
+  | [] | [ _ ] -> None
+  | baseline :: rest ->
+    let base = Float.max 1e-9 (Dataset.getf ds baseline "p999_us") in
+    List.find_map
+      (fun row ->
+        if Dataset.getf ds row "p999_us" > k *. base then
+          Some (Dataset.getf ds row "load")
+        else None)
+      rest
+
+let knees ?k ds ~app =
+  List.map (fun system -> (system, knee ?k ds ~system ~app)) (Dataset.systems ds)
+
+let check_knees_detected ?k ds ~app =
+  List.concat_map
+    (fun (system, knee) ->
+      match knee with
+      | Some _ -> []
+      | None ->
+        [ Printf.sprintf
+            "%s/%s: no P99.9 knee within the load grid — widen the grid or \
+             the collapse disappeared"
+            system app ])
+    (knees ?k ds ~app)
+
+(* Adios must sustain at least as much load as every baseline before its
+   knee. A missing knee ranks as +infinity: the system outlasted the
+   grid. *)
+let check_ranking ?k ?(best = "Adios") ds ~app =
+  let ks = knees ?k ds ~app in
+  match List.assoc_opt best ks with
+  | None -> [ Printf.sprintf "%s/%s: no such curve in the dataset" best app ]
+  | Some best_knee ->
+    let value = function None -> infinity | Some l -> l in
+    List.concat_map
+      (fun (system, knee) ->
+        if String.equal system best then []
+        else if value best_knee >= value knee then []
+        else
+          [ Printf.sprintf
+              "%s/%s knee at %.0f krps is below %s's at %.0f krps: the \
+               headline ordering regressed"
+              best app (value best_knee) system (value knee) ])
+      ks
+
+(* --- throughput monotonicity -------------------------------------------- *)
+
+(* Achieved throughput must climb with offered load and then plateau; it
+   may sag past saturation (drops and errored replies leave the window)
+   but never collapse below (1 - slack) of the best rate seen so far.
+   The default slack accommodates Hermit's reduced-scale overload sag
+   (~13% below peak) while still failing a true collapse. *)
+let check_throughput_monotone ?(slack = 0.2) ds =
+  List.concat_map
+    (fun (app, _) ->
+      List.concat_map
+        (fun system ->
+          let rows = curve ds ~system ~app in
+          let _, violations =
+            List.fold_left
+              (fun (peak, violations) row ->
+                let achieved = Dataset.getf ds row "achieved_krps" in
+                let violations =
+                  if achieved < (1. -. slack) *. peak then
+                    Printf.sprintf
+                      "%s/%s: achieved throughput collapses to %.0f krps at \
+                       offered %.0f after peaking at %.0f"
+                      system app achieved
+                      (Dataset.getf ds row "load")
+                      peak
+                    :: violations
+                  else violations
+                in
+                (Float.max peak achieved, violations))
+              (0., []) rows
+          in
+          List.rev violations)
+        (Dataset.systems ds))
+    (Dataset.group_by ds ~name:"app")
+
+(* --- conservation -------------------------------------------------------- *)
+
+(* Tie each row back to the exported counters: every injected request is
+   accounted for exactly once, and the counter identities that hold by
+   construction inside the system hold on the CSV too. *)
+let check_conservation ds =
+  List.concat_map
+    (fun row ->
+      let i = Dataset.geti ds row in
+      let where =
+        Printf.sprintf "%s/%s @ %s krps"
+          (Dataset.get ds row "system")
+          (Dataset.get ds row "app")
+          (Dataset.get ds row "load")
+      in
+      let checks =
+        [
+          ( "completed + dropped = requests",
+            i "completed" + i "dropped" = i "requests" );
+          ( "dropped = drops_queue + drops_buffer",
+            i "dropped" = i "drops_queue" + i "drops_buffer" );
+          ( "handled + errored = completed",
+            i "handled" + i "errored" = i "completed" );
+          ("completed = admitted", i "completed" = i "admitted");
+          ( "prefetch useful + wasted <= issued",
+            i "prefetch_useful" + i "prefetch_wasted" <= i "prefetch_issued" );
+        ]
+      in
+      List.concat_map
+        (fun (label, ok) ->
+          if ok then [] else [ Printf.sprintf "%s: %s violated" where label ])
+        checks)
+    ds.Dataset.rows
+
+(* --- golden comparison --------------------------------------------------- *)
+
+(* Absolute tolerance bands per column. The simulator is deterministic,
+   so an unchanged tree reproduces goldens bit-for-bit; the bands define
+   how far an *intentional* model change may shift each measurement
+   before the golden must be regenerated (and the shape re-justified in
+   EXPERIMENTS.md). Identity columns never drift. *)
+type tolerance = Exact | Band of { abs : float; rel : float }
+
+let default_tolerance = function
+  | "system" | "app" | "load" | "seed" | "requests" -> Exact
+  | "p50_us" | "p90_us" | "p99_us" | "p999_us" | "mean_us" ->
+    Band { abs = 2.0; rel = 0.25 }
+  | "offered_krps" | "achieved_krps" -> Band { abs = 10.; rel = 0.05 }
+  | "drop_fraction" -> Band { abs = 0.02; rel = 0. }
+  | "rdma_util" -> Band { abs = 0.05; rel = 0. }
+  (* counters: faults, evictions, preemptions, stalls, drops, ... *)
+  | _ -> Band { abs = 50.; rel = 0.25 }
+
+let compare_cell ~tolerance ~column ~where ~golden ~got =
+  match tolerance column with
+  | Exact ->
+    if String.equal golden got then []
+    else
+      [ Printf.sprintf "%s: %s is %S, golden has %S" where column got golden ]
+  | Band { abs; rel } -> (
+    match (float_of_string_opt golden, float_of_string_opt got) with
+    | Some g, Some v ->
+      let band = Float.max abs (rel *. Float.abs g) in
+      if Float.abs (v -. g) <= band then []
+      else
+        [ Printf.sprintf "%s: %s drifted to %s, golden %s (band %.3f)" where
+            column got golden band ]
+    | _ ->
+      if String.equal golden got then []
+      else
+        [ Printf.sprintf "%s: %s is %S, golden has %S (not numeric)" where
+            column got golden ])
+
+let compare_golden ?(tolerance = default_tolerance) ~golden ds =
+  if not (List.equal String.equal golden.Dataset.header ds.Dataset.header) then
+    [ Printf.sprintf "header changed: golden %s, got %s"
+        (String.concat "," golden.Dataset.header)
+        (String.concat "," ds.Dataset.header) ]
+  else if Dataset.length golden <> Dataset.length ds then
+    [ Printf.sprintf "row count changed: golden %d, got %d"
+        (Dataset.length golden) (Dataset.length ds) ]
+  else
+    List.concat
+      (List.map2
+         (fun grow row ->
+           let where =
+             Printf.sprintf "%s/%s @ %s krps"
+               (Dataset.get ds row "system")
+               (Dataset.get ds row "app")
+               (Dataset.get ds row "load")
+           in
+           List.concat
+             (List.map2
+                (fun column (golden, got) ->
+                  compare_cell ~tolerance ~column ~where ~golden ~got)
+                golden.Dataset.header
+                (List.combine grow row)))
+         golden.Dataset.rows ds.Dataset.rows)
+
+(* --- bundles ------------------------------------------------------------- *)
+
+(* The standard oracle set a reduced-scale golden sweep must pass. *)
+let check_all ?k ds =
+  List.concat_map
+    (fun app ->
+      check_knees_detected ?k ds ~app @ check_ranking ?k ds ~app)
+    (Dataset.apps ds)
+  @ check_throughput_monotone ds
+  @ check_conservation ds

@@ -1,0 +1,55 @@
+(** Figure-shape oracles over sweep datasets: knee detection, cross-system
+    ranking, throughput monotonicity, request-conservation checks tying
+    rows back to the exported counters, and golden comparison with
+    absolute tolerance bands. Each check returns human-readable
+    violations; an empty list is a pass. *)
+
+type violation = string
+
+val curve : Dataset.t -> system:string -> app:string -> string list list
+(** Rows of one (system, app) series, ascending by nominal load. *)
+
+val knee : ?k:float -> Dataset.t -> system:string -> app:string -> float option
+(** First load whose P99.9 exceeds [k] (default 3) times the lowest-load
+    baseline P99.9; [None] if the curve never collapses in-grid. *)
+
+val knees : ?k:float -> Dataset.t -> app:string -> (string * float option) list
+(** {!knee} for every system present in the dataset. *)
+
+val check_knees_detected : ?k:float -> Dataset.t -> app:string -> violation list
+(** Every system's knee must fall inside the load grid. *)
+
+val check_ranking :
+  ?k:float -> ?best:string -> Dataset.t -> app:string -> violation list
+(** [best] (default ["Adios"]) must knee at a load at least as high as
+    every other system's; a missing knee counts as beyond-the-grid. *)
+
+val check_throughput_monotone : ?slack:float -> Dataset.t -> violation list
+(** Achieved throughput may climb and plateau but never fall below
+    [1 - slack] (default [slack = 0.2]) of the best rate seen earlier in
+    the curve. *)
+
+val check_conservation : Dataset.t -> violation list
+(** Per-row counter identities: completed + dropped = requests,
+    dropped = drops_queue + drops_buffer, handled + errored = completed,
+    completed = admitted, prefetch useful + wasted <= issued. *)
+
+type tolerance = Exact | Band of { abs : float; rel : float }
+
+val default_tolerance : string -> tolerance
+(** Per-column bands: identity columns exact; latencies 2 us or 25%;
+    rates 10 krps or 5%; fractions absolute; counters 50 or 25%. *)
+
+val compare_golden :
+  ?tolerance:(string -> tolerance) ->
+  golden:Dataset.t ->
+  Dataset.t ->
+  violation list
+(** Column-by-column comparison against a golden dataset. The simulator
+    is deterministic, so an unchanged tree matches bit-for-bit; the
+    bands bound how far an intentional model change may shift each
+    measurement before the golden must be regenerated. *)
+
+val check_all : ?k:float -> Dataset.t -> violation list
+(** The standard bundle: knees detected and ranked per app, throughput
+    monotone, conservation. *)

@@ -1,0 +1,31 @@
+(** Sweep execution: expand a {!Spec.t} into points and run them, either
+    in-process ([jobs <= 1]) or as up to [jobs] parallel forked worker
+    processes, each an [adios_sim]-equivalent run of one point. Results
+    are identical either way: every point builds a fresh simulator, app
+    and RNG from its own deterministic seed, and workers marshal the
+    plain-data {!Adios_core.Runner.result} back unchanged. *)
+
+val run_point :
+  ?cfg_tweak:(Adios_core.Config.t -> Adios_core.Config.t) ->
+  Spec.t ->
+  Spec.point ->
+  Adios_core.Runner.result
+(** Run one point inline. [cfg_tweak] rewrites the configuration after
+    the spec is applied (bench variants: sync-TX, dispatch policy,
+    pinned seeds). *)
+
+val point_label : Spec.point -> string
+(** Human-readable point identifier for progress and error messages. *)
+
+val run :
+  ?jobs:int ->
+  ?cfg_tweak:(Adios_core.Config.t -> Adios_core.Config.t) ->
+  ?progress:(Spec.point -> Adios_core.Runner.result -> unit) ->
+  Spec.t ->
+  (Spec.point * Adios_core.Runner.result) list
+(** Run the whole sweep. Results are returned in {!Spec.points} order
+    regardless of [jobs]; [progress] fires once per point, in points
+    order (workers are drained in spawn order).
+
+    @raise Failure if a worker process dies or a point raises; remaining
+    workers are killed first. *)

@@ -54,6 +54,44 @@ let prop_heap_sorted =
       let times = drain [] in
       List.sort compare times = times)
 
+let drain_all h =
+  let rec go acc =
+    match Heap.pop h with
+    | Some (t, s, v) -> go ((t, s, v) :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+(* Stronger than sortedness: the drain is exactly the stable sort of the
+   pushed entries by time — same-timestamp events leave in push (seq)
+   order. This is the FIFO-tie guarantee the whole simulator's
+   determinism rests on. *)
+let prop_heap_stable_fifo =
+  QCheck.Test.make ~name:"heap drain = stable sort (same-time FIFO)"
+    ~count:300
+    (* small_nat times force plenty of timestamp collisions *)
+    QCheck.(list (int_range 0 8))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i t -> Heap.push h ~time:t ~seq:i i) times;
+      let expected =
+        List.stable_sort
+          (fun (a, _, _) (b, _, _) -> compare a b)
+          (List.mapi (fun i t -> (t, i, i)) times)
+      in
+      drain_all h = expected)
+
+let prop_heap_drain_to_empty =
+  QCheck.Test.make ~name:"heap drains to empty" ~count:300
+    QCheck.(list (pair small_nat small_nat))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri (fun i (t, v) -> Heap.push h ~time:t ~seq:i v) entries;
+      let popped = List.length (drain_all h) in
+      popped = List.length entries
+      && Heap.is_empty h && Heap.length h = 0 && Heap.pop h = None
+      && Heap.peek_time h = None)
+
 (* --- clock ------------------------------------------------------------ *)
 
 let test_clock () =
@@ -96,6 +134,28 @@ let test_sim_nested_schedule () =
       Sim.schedule sim ~delay:5 (fun () -> result := Sim.now sim));
   Sim.run sim;
   check_int "nested time" 10 !result
+
+(* The sim inherits the heap's guarantee: events fire in the stable sort
+   of their delays, so two events scheduled for the same instant run in
+   scheduling order. *)
+let prop_sim_stable_order =
+  QCheck.Test.make ~name:"sim fires events in stable delay order" ~count:300
+    QCheck.(list (int_range 0 8))
+    (fun delays ->
+      let sim = Sim.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun i d -> Sim.schedule sim ~delay:d (fun () -> fired := (d, i) :: !fired))
+        delays;
+      Sim.run sim;
+      let expected =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.mapi (fun i d -> (d, i)) delays)
+      in
+      List.rev !fired = expected
+      && Sim.pending sim = 0
+      && Sim.events_processed sim = List.length delays)
 
 let test_sim_negative_delay_clamped () =
   let sim = Sim.create () in
@@ -312,6 +372,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_heap_basic;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           q prop_heap_sorted;
+          q prop_heap_stable_fifo;
+          q prop_heap_drain_to_empty;
         ] );
       ("clock", [ Alcotest.test_case "conversions" `Quick test_clock ]);
       ( "sim",
@@ -321,6 +383,7 @@ let () =
           Alcotest.test_case "nested schedule" `Quick test_sim_nested_schedule;
           Alcotest.test_case "negative delay" `Quick
             test_sim_negative_delay_clamped;
+          q prop_sim_stable_order;
         ] );
       ( "proc",
         [

@@ -1,0 +1,77 @@
+(* Golden header-order test for lib/core/export.ml.
+
+   Downstream consumers — the checked-in golden CSVs under test/golden/,
+   microbench_sweep.csv, EXPERIMENTS.md column references, and any
+   notebook that ever parsed an exported CSV — all address columns by
+   name and position. Reordering, renaming or dropping a column silently
+   corrupts them, so the exact list is frozen here. Appending a new
+   column is allowed (extend this list and regenerate the goldens:
+   `dune exec bin/adios_sweep.exe -- --regen-golden test/golden`). *)
+
+module Export = Adios_core.Export
+
+let golden_columns =
+  [
+    "system";
+    "app";
+    "offered_krps";
+    "achieved_krps";
+    "drop_fraction";
+    "p50_us";
+    "p90_us";
+    "p99_us";
+    "p999_us";
+    "mean_us";
+    "rdma_util";
+    "faults";
+    "coalesced";
+    "evictions";
+    "preemptions";
+    "qp_stalls";
+    "frame_stalls";
+    "writeback_stalls";
+    "drops_queue";
+    "drops_buffer";
+    "prefetch_issued";
+    "prefetch_useful";
+    "prefetch_wasted";
+    "errored";
+    "fetch_timeouts";
+    "fetch_retries";
+    "retries_hwm";
+    "faults_injected";
+    "drops_qp";
+    "admitted";
+    "handled";
+    "completed";
+    "dropped";
+    "buffer_hwm";
+    "requests";
+  ]
+
+let test_column_names () =
+  Alcotest.check
+    Alcotest.(list string)
+    "exported CSV columns, in order" golden_columns Export.column_names
+
+let test_csv_header () =
+  Alcotest.check Alcotest.string "csv header line"
+    (String.concat "," golden_columns)
+    Export.csv_header
+
+let test_no_duplicate_columns () =
+  let sorted = List.sort_uniq compare Export.column_names in
+  Alcotest.check Alcotest.int "no duplicate column names"
+    (List.length Export.column_names)
+    (List.length sorted)
+
+let () =
+  Alcotest.run "export"
+    [
+      ( "header",
+        [
+          Alcotest.test_case "column names frozen" `Quick test_column_names;
+          Alcotest.test_case "header line" `Quick test_csv_header;
+          Alcotest.test_case "no duplicates" `Quick test_no_duplicate_columns;
+        ] );
+    ]

@@ -1,0 +1,274 @@
+(* Golden-tier sweep tests: run the canonical reduced array spec once and
+   hold it against every figure-shape oracle plus the checked-in golden
+   CSV. The same run, repeated through the forked runner, must reproduce
+   the dataset bit-for-bit — the determinism claim the whole golden tier
+   rests on. Synthetic datasets then exercise each oracle's failure
+   direction, so a broken oracle (one that never fires) also fails here. *)
+
+module Spec = Adios_exp.Spec
+module Sweep = Adios_exp.Sweep
+module Dataset = Adios_exp.Dataset
+module Oracle = Adios_exp.Oracle
+
+let check = Alcotest.check
+let no_violations name vs = check Alcotest.(list string) name [] vs
+
+(* One sequential run shared by every golden test below; a second run
+   through the forked workers checks replay identity. *)
+let sequential = lazy (Sweep.run ~jobs:1 Spec.reduced_array)
+let dataset = lazy (Dataset.of_run (Lazy.force sequential))
+
+(* --- the golden sweep --------------------------------------------------- *)
+
+let test_replay_bit_identical () =
+  let again = Sweep.run ~jobs:2 Spec.reduced_array in
+  check Alcotest.string "same seed, same bytes (jobs=1 vs jobs=2)"
+    (Dataset.to_csv (Lazy.force dataset))
+    (Dataset.to_csv (Dataset.of_run again))
+
+let test_golden_match () =
+  match Dataset.load ~path:"golden/array-reduced.csv" with
+  | Error e -> Alcotest.fail e
+  | Ok golden ->
+    no_violations "within tolerance of golden"
+      (Oracle.compare_golden ~golden (Lazy.force dataset))
+
+let test_knees_detected () =
+  let ds = Lazy.force dataset in
+  no_violations "all four systems knee in-grid"
+    (Oracle.check_knees_detected ds ~app:"array");
+  List.iter
+    (fun (system, knee) ->
+      check Alcotest.bool
+        (Printf.sprintf "%s knee is a grid load" system)
+        true
+        (match knee with
+        | Some l -> List.mem l Spec.reduced_array.Spec.loads
+        | None -> false))
+    (Oracle.knees ds ~app:"array")
+
+let test_adios_outlasts_baselines () =
+  let ds = Lazy.force dataset in
+  no_violations "Adios knee >= every baseline's"
+    (Oracle.check_ranking ds ~app:"array");
+  (* the ordering the oracle enforces, asserted directly *)
+  let knee sys =
+    match Oracle.knee ds ~system:sys ~app:"array" with
+    | Some l -> l
+    | None -> infinity
+  in
+  List.iter
+    (fun baseline ->
+      check Alcotest.bool
+        (Printf.sprintf "Adios knee >= %s knee" baseline)
+        true
+        (knee "Adios" >= knee baseline))
+    [ "Hermit"; "DiLOS"; "DiLOS-P" ]
+
+let test_throughput_monotone () =
+  no_violations "throughput climbs then plateaus"
+    (Oracle.check_throughput_monotone (Lazy.force dataset))
+
+let test_conservation () =
+  no_violations "counters conserve requests"
+    (Oracle.check_conservation (Lazy.force dataset))
+
+let test_csv_round_trip () =
+  let ds = Lazy.force dataset in
+  match Dataset.of_csv (Dataset.to_csv ds) with
+  | Error e -> Alcotest.fail e
+  | Ok ds' ->
+    check Alcotest.bool "parse . print = id" true (ds = ds');
+    check Alcotest.int "rows" (Spec.point_count Spec.reduced_array)
+      (Dataset.length ds')
+
+(* --- spec --------------------------------------------------------------- *)
+
+let test_point_seeds () =
+  let points = Spec.points Spec.reduced_array in
+  check Alcotest.int "point count"
+    (Spec.point_count Spec.reduced_array)
+    (List.length points);
+  List.iteri
+    (fun i (p : Spec.point) ->
+      check Alcotest.int "indices are positional" i p.Spec.index;
+      check Alcotest.int "seed is a pure function of (seed, index)"
+        (Spec.point_seed ~seed:Spec.reduced_array.Spec.seed ~index:i)
+        p.Spec.point_seed)
+    points;
+  let seeds = List.map (fun (p : Spec.point) -> p.Spec.point_seed) points in
+  check Alcotest.int "per-point seeds are distinct"
+    (List.length seeds)
+    (List.length (List.sort_uniq compare seeds))
+
+let test_unknown_app_rejected () =
+  Alcotest.check_raises "unknown app"
+    (Invalid_argument
+       ("Spec.make: " ^ Adios_apps.Registry.unknown "nope"))
+    (fun () -> ignore (Spec.make ~apps:[ "nope" ] ~name:"x" ()))
+
+(* --- oracles on synthetic data ------------------------------------------ *)
+
+(* A minimal dataset with just the columns a given oracle reads. *)
+let synth header rows = { Dataset.header; rows }
+
+let latency_header = [ "load"; "system"; "app"; "p999_us"; "achieved_krps" ]
+
+let curve_rows sys rows =
+  List.map
+    (fun (load, p999, thr) ->
+      [ string_of_float load; sys; "array"; string_of_float p999;
+        string_of_float thr ])
+    rows
+
+let test_knee_synthetic () =
+  let ds =
+    synth latency_header
+      (curve_rows "A" [ (100., 10., 90.); (200., 25., 180.); (300., 35., 250.) ])
+  in
+  check
+    Alcotest.(option (float 1e-9))
+    "first point past 3x baseline" (Some 300.)
+    (Oracle.knee ds ~system:"A" ~app:"array");
+  check
+    Alcotest.(option (float 1e-9))
+    "k=2 knees earlier" (Some 200.)
+    (Oracle.knee ~k:2. ds ~system:"A" ~app:"array");
+  let flat =
+    synth latency_header
+      (curve_rows "A" [ (100., 10., 90.); (200., 11., 180.); (300., 12., 250.) ])
+  in
+  check
+    Alcotest.(option (float 1e-9))
+    "flat curve never knees" None
+    (Oracle.knee flat ~system:"A" ~app:"array");
+  check Alcotest.int "missing knee reported" 1
+    (List.length (Oracle.check_knees_detected flat ~app:"array"))
+
+let test_ranking_synthetic () =
+  let ds =
+    synth latency_header
+      (curve_rows "Adios" [ (100., 10., 90.); (200., 40., 170.) ]
+      @ curve_rows "Base" [ (100., 10., 90.); (300., 40., 250.) ])
+  in
+  (* Adios knees at 200, Base survives to 300: the headline inverted *)
+  check Alcotest.int "inverted ranking caught" 1
+    (List.length (Oracle.check_ranking ds ~app:"array"));
+  let ok =
+    synth latency_header
+      (curve_rows "Adios" [ (100., 10., 90.); (300., 40., 250.) ]
+      @ curve_rows "Base" [ (100., 10., 90.); (300., 40., 250.) ])
+  in
+  no_violations "tie is acceptable" (Oracle.check_ranking ok ~app:"array")
+
+let test_monotone_synthetic () =
+  let collapsing =
+    synth latency_header
+      (curve_rows "A"
+         [ (100., 10., 100.); (200., 12., 200.); (300., 14., 90.) ])
+  in
+  check Alcotest.int "collapse caught" 1
+    (List.length (Oracle.check_throughput_monotone collapsing));
+  no_violations "sag within slack passes"
+    (Oracle.check_throughput_monotone
+       (synth latency_header
+          (curve_rows "A"
+             [ (100., 10., 100.); (200., 12., 200.); (300., 14., 170.) ])))
+
+let conservation_header =
+  [
+    "load"; "system"; "app"; "requests"; "completed"; "dropped"; "drops_queue";
+    "drops_buffer"; "handled"; "errored"; "admitted"; "prefetch_issued";
+    "prefetch_useful"; "prefetch_wasted";
+  ]
+
+let conservation_row ~requests ~completed ~dropped =
+  [
+    "100."; "A"; "array";
+    string_of_int requests; string_of_int completed; string_of_int dropped;
+    string_of_int dropped; "0"; string_of_int completed; "0";
+    string_of_int completed; "4"; "2"; "1";
+  ]
+
+let test_conservation_synthetic () =
+  no_violations "balanced row passes"
+    (Oracle.check_conservation
+       (synth conservation_header
+          [ conservation_row ~requests:100 ~completed:90 ~dropped:10 ]));
+  check Alcotest.int "lost request caught" 1
+    (List.length
+       (Oracle.check_conservation
+          (synth conservation_header
+             [ conservation_row ~requests:100 ~completed:90 ~dropped:5 ])))
+
+let test_compare_golden_bands () =
+  let mk p999 = synth latency_header (curve_rows "A" [ (100., p999, 90.) ]) in
+  let golden = mk 10. in
+  no_violations "identical matches" (Oracle.compare_golden ~golden (mk 10.));
+  (* latency band is max(2us, 25%): 12.4 is inside, 13 is outside *)
+  no_violations "drift within band tolerated"
+    (Oracle.compare_golden ~golden (mk 12.4));
+  check Alcotest.int "drift past band caught" 1
+    (List.length (Oracle.compare_golden ~golden (mk 13.)));
+  (* identity columns never drift *)
+  let moved =
+    synth latency_header
+      [ [ "100."; "B"; "array"; "10."; "90." ] ]
+  in
+  check Alcotest.int "exact column mismatch caught" 1
+    (List.length (Oracle.compare_golden ~golden moved));
+  check Alcotest.int "row count change caught" 1
+    (List.length
+       (Oracle.compare_golden ~golden
+          (synth latency_header
+             (curve_rows "A" [ (100., 10., 90.); (200., 11., 150.) ]))))
+
+let test_dataset_accessors () =
+  let ds =
+    synth latency_header
+      (curve_rows "A" [ (100., 10., 90.) ] @ curve_rows "B" [ (100., 20., 80.) ])
+  in
+  check Alcotest.(list string) "systems" [ "A"; "B" ] (Dataset.systems ds);
+  check Alcotest.(list string) "apps" [ "array" ] (Dataset.apps ds);
+  check Alcotest.int "filter" 1
+    (Dataset.length (Dataset.filter ds ~name:"system" ~value:"B"));
+  Alcotest.check_raises "unknown column"
+    (Invalid_argument "Dataset.get: no column nope")
+    (fun () ->
+      ignore (Dataset.get ds (List.hd ds.Dataset.rows) "nope"))
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "replay bit-identical" `Quick
+            test_replay_bit_identical;
+          Alcotest.test_case "matches checked-in golden" `Quick
+            test_golden_match;
+          Alcotest.test_case "knees detected" `Quick test_knees_detected;
+          Alcotest.test_case "Adios outlasts baselines" `Quick
+            test_adios_outlasts_baselines;
+          Alcotest.test_case "throughput monotone" `Quick
+            test_throughput_monotone;
+          Alcotest.test_case "conservation" `Quick test_conservation;
+          Alcotest.test_case "csv round-trip" `Quick test_csv_round_trip;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "point seeds" `Quick test_point_seeds;
+          Alcotest.test_case "unknown app rejected" `Quick
+            test_unknown_app_rejected;
+        ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "knee" `Quick test_knee_synthetic;
+          Alcotest.test_case "ranking" `Quick test_ranking_synthetic;
+          Alcotest.test_case "monotonicity" `Quick test_monotone_synthetic;
+          Alcotest.test_case "conservation" `Quick
+            test_conservation_synthetic;
+          Alcotest.test_case "golden bands" `Quick test_compare_golden_bands;
+          Alcotest.test_case "dataset accessors" `Quick
+            test_dataset_accessors;
+        ] );
+    ]
