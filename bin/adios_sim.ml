@@ -14,6 +14,8 @@ module Sink = Adios_trace.Sink
 module Chrome = Adios_trace.Chrome
 module Timeline = Adios_trace.Timeline
 module Checker = Adios_trace.Checker
+module Registry = Adios_obs.Registry
+module Openmetrics = Adios_obs.Openmetrics
 
 let system_names = [ "adios"; "dilos"; "dilos-p"; "hermit" ]
 
@@ -56,8 +58,8 @@ let dispatch_conv =
 
 let run system app load requests local_ratio dispatch prefetch no_delegation
     seed show_cdf show_breakdown trace_file timeseries_file trace_cap
-    fault_drop fault_spike fault_stall fault_throttle fault_seed
-    fetch_timeout_us fetch_retries =
+    metrics_file metrics_csv_file metrics_interval_us fault_drop fault_spike
+    fault_stall fault_throttle fault_seed fetch_timeout_us fetch_retries =
   let cfg = Config.default system in
   let fault =
     {
@@ -97,8 +99,22 @@ let run system app load requests local_ratio dispatch prefetch no_delegation
   let timeline =
     match timeseries_file with None -> None | Some _ -> Some (Timeline.create ())
   in
-  let r = Runner.run cfg app ~offered_krps:load ~requests ~trace ?timeline () in
+  let metrics =
+    match (metrics_file, metrics_csv_file) with
+    | None, None -> None
+    | _ -> Some (Registry.create ())
+  in
+  let snapshot =
+    match metrics_csv_file with None -> None | Some _ -> Some (Timeline.create ())
+  in
+  let r =
+    Runner.run cfg app ~offered_krps:load ~requests ~trace ?timeline ?metrics
+      ?snapshot
+      ~sample_period:(Clock.of_us metrics_interval_us)
+      ()
+  in
   Report.result_line r;
+  Report.cpu_efficiency ~title:"CPU efficiency" [ (r.Runner.system, r) ];
   List.iter
     (fun (k, s) -> Format.printf "%-6s %a@." k Summary.pp s)
     r.Runner.kind_summaries;
@@ -116,6 +132,33 @@ let run system app load requests local_ratio dispatch prefetch no_delegation
     Format.printf "timeseries: %d samples x %d series -> %s@." (Timeline.length tl)
       (List.length (Timeline.names tl))
       path
+  | _ -> ());
+  (match (metrics_csv_file, snapshot) with
+  | Some path, Some snap ->
+    write path (fun () -> Timeline.write_csv ~path snap);
+    Format.printf "metrics csv: %d samples x %d series -> %s@."
+      (Timeline.length snap)
+      (List.length (Timeline.names snap))
+      path
+  | _ -> ());
+  (match (metrics_file, metrics) with
+  | Some path, Some reg ->
+    let text = Openmetrics.render reg in
+    write path (fun () ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc text));
+    (* feed the exposition back through the validator: a malformed
+       export is a bug, not a warning (the CI metrics-smoke gate) *)
+    (match Openmetrics.validate text with
+    | Ok () ->
+      Format.printf "metrics: %d series -> %s@."
+        (List.length (Registry.metrics reg))
+        path
+    | Error msg ->
+      Format.eprintf "adios_sim: malformed OpenMetrics output: %s@." msg;
+      exit 1)
   | _ -> ());
   match trace_file with
   | None -> ()
@@ -219,6 +262,37 @@ let timeseries_arg =
           "Sample queue depths, in-flight faults, free frames and link \
            utilization every 5us and write the series to FILE as CSV.")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the full metrics registry (system counters, NIC / pager / \
+           reclaimer metrics, per-CPU time-in-state accounting) to FILE in \
+           OpenMetrics text exposition at the end of the run. The output is \
+           re-validated with the built-in parser; a malformed exposition \
+           makes the run exit non-zero.")
+
+let metrics_csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-csv" ] ~docv:"FILE"
+        ~doc:
+          "Sample every scalar metric periodically (see \
+           --metrics-interval-us) and write the series to FILE as CSV. \
+           Shares its sampling clock with --timeseries, so rows of the two \
+           files align 1:1.")
+
+let metrics_interval_arg =
+  Arg.(
+    value & opt float 5.
+    & info [ "metrics-interval-us" ] ~docv:"US"
+        ~doc:
+          "Sampling period in microseconds for --metrics-csv and \
+           --timeseries (default 5).")
+
 let positive_int =
   let parse s =
     match int_of_string_opt s with
@@ -314,6 +388,7 @@ let cmd =
       const run $ system_arg $ app_arg $ load_arg $ requests_arg $ ratio_arg
       $ dispatch_arg $ prefetch_arg $ no_delegation_arg $ seed_arg $ cdf_arg
       $ breakdown_arg $ trace_arg $ timeseries_arg $ trace_cap_arg
+      $ metrics_out_arg $ metrics_csv_arg $ metrics_interval_arg
       $ fault_drop_arg $ fault_spike_arg $ fault_stall_arg
       $ fault_throttle_arg $ fault_seed_arg $ fetch_timeout_arg
       $ fetch_retries_arg)

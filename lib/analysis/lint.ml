@@ -35,6 +35,16 @@
    - [counter-export] every mutable counter in [System.counters] is
                       read by the runner, and every scalar field of
                       [Runner.result] appears in [Export.fields].
+   - [metric-export]  every metric name literal passed to a
+                      registration helper follows the OpenMetrics
+                      naming convention (adios_ prefix, [a-z0-9_],
+                      counters end in _total, gauges/histograms do
+                      not), and every [register_metrics] definition is
+                      called from another file — an uncalled one means
+                      those series never reach the exporter.
+   - [counter-registry] every mutable field of [System.counters] is
+                      projected inside system.ml's [register_metrics],
+                      so a new counter cannot bypass the registry.
 
    Suppressions: an allow-comment naming the rule (syntax in
    README.md, "Static analysis") on the finding's line or the line
@@ -56,6 +66,8 @@ let rule_names =
     "event-wildcard";
     "event-wiring";
     "counter-export";
+    "metric-export";
+    "counter-registry";
     "poly-compare";
     "float-equal";
     "no-abort";
@@ -205,6 +217,101 @@ let qualified_projections ~qualifier str =
   let it = { Ast_iterator.default_iterator with expr } in
   it.structure it str;
   acc
+
+(* Expression of the first toplevel [let name = ...] binding, if any. *)
+let toplevel_binding ~name str =
+  List.find_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.find_map
+          (fun vb ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; _ } when String.equal txt name ->
+              Some vb.pvb_expr
+            | _ -> None)
+          vbs
+      | _ -> None)
+    str
+
+(* Labels of every field projection [expr.label] (any qualification)
+   inside one expression. *)
+let field_projections e =
+  let acc = Hashtbl.create 32 in
+  let expr it x =
+    (match x.pexp_desc with
+    | Pexp_field (_, { txt; _ }) -> (
+      match last_of txt with Some n -> Hashtbl.replace acc n () | None -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it x
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e;
+  acc
+
+(* [module A = Path.B] aliases: (alias, B). *)
+let module_aliases str =
+  let acc = ref [] in
+  let module_binding it mb =
+    (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+    | Some alias, Pmod_ident { txt; _ } -> (
+      match last_of txt with
+      | Some target -> acc := (alias, target) :: !acc
+      | None -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.module_binding it mb
+  in
+  let it = { Ast_iterator.default_iterator with module_binding } in
+  it.structure it str;
+  !acc
+
+(* Qualifiers Q of every [Q.name] use, with each file's module aliases
+   resolved one step ([module Acct = Adios_obs.Accountant] makes
+   [Acct.register_metrics] count as a call into Accountant). *)
+let qualified_uses ~name str =
+  let aliases = module_aliases str in
+  let acc = ref [] in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Ldot (path, n); _ }
+      when String.equal n name -> (
+      match last_of path with
+      | Some q ->
+        let q = match List.assoc_opt q aliases with Some t -> t | None -> q in
+        acc := q :: !acc
+      | None -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it str;
+  !acc
+
+(* Metric-name string literals handed to a registration helper: any
+   application of [counter]/[gauge]/[histogram] (bare or qualified,
+   e.g. [Registry.counter]) with a string argument starting "adios_". *)
+let metric_registrations str =
+  let acc = ref [] in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+      match last_of txt with
+      | Some (("counter" | "gauge" | "histogram") as kind) ->
+        List.iter
+          (fun (_, a) ->
+            match a.pexp_desc with
+            | Pexp_constant (Pconst_string (s, loc, _))
+              when String.starts_with ~prefix:"adios_" s ->
+              acc := (kind, s, line_of loc) :: !acc
+            | _ -> ())
+          args
+      | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it str;
+  List.rev !acc
 
 (* --- per-file rules ------------------------------------------------------ *)
 
@@ -533,6 +640,127 @@ let check_counter_export ~system:(spath, ssrc) ~runner:(rpath, rsrc)
     in
     counter_findings @ export_findings
 
+let module_name_of path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let valid_metric_name n =
+  String.length n > String.length "adios_"
+  && String.starts_with ~prefix:"adios_" n
+  && String.for_all
+       (fun ch -> (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') || ch = '_')
+       n
+
+let check_metric_export ~sources =
+  let parsed =
+    List.filter_map
+      (fun (path, source) ->
+        match parse_impl ~path source with
+        | exception _ -> None (* parse-error already reported per-file *)
+        | str -> Some (path, str))
+      sources
+  in
+  (* Naming convention on every registration-site literal. The registry
+     re-validates at runtime; this catches dead or conditional paths. *)
+  let name_findings =
+    List.concat_map
+      (fun (path, str) ->
+        List.concat_map
+          (fun (kind, name, line) ->
+            let bad msg = [ { file = path; line; rule = "metric-export"; msg } ] in
+            if not (valid_metric_name name) then
+              bad
+                (Printf.sprintf
+                   "metric name %S breaks the convention adios_[a-z0-9_]+; \
+                    the registry will reject it at runtime"
+                   name)
+            else
+              let total = String.ends_with ~suffix:"_total" name in
+              match kind with
+              | "counter" when not total ->
+                bad
+                  (Printf.sprintf
+                     "counter %S must end in _total (OpenMetrics counter \
+                      exposition strips and re-adds the suffix)"
+                     name)
+              | ("gauge" | "histogram") when total ->
+                bad
+                  (Printf.sprintf
+                     "%s %S must not end in _total: the exporter would \
+                      render it as a counter family"
+                     kind name)
+              | _ -> [])
+          (metric_registrations str))
+      parsed
+  in
+  (* Reachability: a [register_metrics] nobody calls never populates the
+     registry, so its series silently vanish from every exporter. *)
+  let callers =
+    List.concat_map
+      (fun (path, str) ->
+        List.map
+          (fun q -> (path, q))
+          (qualified_uses ~name:"register_metrics" str))
+      parsed
+  in
+  let reach_findings =
+    List.concat_map
+      (fun (path, str) ->
+        match toplevel_binding ~name:"register_metrics" str with
+        | None -> []
+        | Some body ->
+          let modname = module_name_of path in
+          let called =
+            List.exists
+              (fun (caller, q) ->
+                (not (String.equal caller path)) && String.equal q modname)
+              callers
+          in
+          if called then []
+          else
+            [ { file = path;
+                line = line_of body.pexp_loc;
+                rule = "metric-export";
+                msg =
+                  Printf.sprintf
+                    "%s.register_metrics is never called from another file: \
+                     its metrics are unreachable from the OpenMetrics \
+                     exporter"
+                    modname } ])
+      parsed
+  in
+  name_findings @ reach_findings
+
+let check_counter_registry ~system:(spath, ssrc) =
+  match parse_impl ~path:spath ssrc with
+  | exception exn -> [ parse_error_finding ~path:spath exn ]
+  | sstr -> (
+    let counters = record_fields ~type_name:"counters" sstr in
+    match toplevel_binding ~name:"register_metrics" sstr with
+    | None ->
+      if counters = [] then []
+      else
+        [ { file = spath;
+            line = 1;
+            rule = "counter-registry";
+            msg =
+              "no register_metrics binding found: the counter-registry \
+               check is blind" } ]
+    | Some body ->
+      let registered = field_projections body in
+      List.concat_map
+        (fun (name, line, mut, _scalar) ->
+          if mut && not (Hashtbl.mem registered name) then
+            [ { file = spath;
+                line;
+                rule = "counter-registry";
+                msg =
+                  Printf.sprintf
+                    "counter %s is not registered in register_metrics; \
+                     every mutable counter must reach the metrics registry"
+                    name } ]
+          else [])
+        counters)
+
 (* --- whole-repo driver ---------------------------------------------------- *)
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
@@ -595,7 +823,13 @@ let run ~root =
       check_counter_export ~system:s ~runner:r ~export:x
     | _ -> []
   in
-  let raw = per_file @ wiring @ counters in
+  let metric_export = check_metric_export ~sources in
+  let counter_registry =
+    match get "lib/core/system.ml" with
+    | Some s -> check_counter_registry ~system:s
+    | None -> []
+  in
+  let raw = per_file @ wiring @ counters @ metric_export @ counter_registry in
   let final =
     List.concat_map
       (fun (path, source) ->

@@ -43,6 +43,21 @@ val check_counter_export :
     runner, and every scalar field of the record type [result] must be
     projected as [Runner.field] in the export field list. *)
 
+val check_metric_export : sources:(string * string) list -> finding list
+(** Cross-file rule [metric-export] over every [(path, source)] pair:
+    metric name literals at registration sites ([counter]/[gauge]/
+    [histogram] applications) must follow the OpenMetrics convention
+    (adios_ prefix, [a-z0-9_], counters end in [_total], gauges and
+    histograms do not), and every toplevel [register_metrics] must be
+    called from another file — module aliases are resolved one step —
+    or its series never reach an exporter. *)
+
+val check_counter_registry : system:string * string -> finding list
+(** Cross-file rule [counter-registry] over system.ml's
+    [(path, source)]: every mutable field of the record type [counters]
+    must be projected inside the [register_metrics] binding, so a new
+    counter cannot be added without registering it. *)
+
 val run : root:string -> int * finding list
 (** Lint every [.ml] under [root/lib] and [root/bin] (skipping [_build]
     and dotted directories), apply the cross-file rules, honour

@@ -53,6 +53,22 @@ let fields : (string * (Runner.result -> string)) list =
        request count on the row, completed + dropped = requests is
        checkable from the CSV alone *)
     ("requests", fun r -> string_of_int r.Runner.requests);
+    (* CPU time-in-state columns (worker-cycle shares, dispatcher
+       excluded): appended so every earlier block keeps its position.
+       The per-row shares sum to ~1.0 — gated by the cpu-conservation
+       oracle in lib/exp *)
+    ("cpu_app_share", fun r -> Printf.sprintf "%.4f" r.Runner.cpu_app_share);
+    ("cpu_pf_sw_share", fun r -> Printf.sprintf "%.4f" r.Runner.cpu_pf_sw_share);
+    ( "cpu_busy_wait_share",
+      fun r -> Printf.sprintf "%.4f" r.Runner.cpu_busy_wait_share );
+    ( "cpu_cq_poll_share",
+      fun r -> Printf.sprintf "%.4f" r.Runner.cpu_cq_poll_share );
+    ( "cpu_ctx_switch_share",
+      fun r -> Printf.sprintf "%.4f" r.Runner.cpu_ctx_switch_share );
+    ( "cpu_dispatch_share",
+      fun r -> Printf.sprintf "%.4f" r.Runner.cpu_dispatch_share );
+    ("cpu_tx_share", fun r -> Printf.sprintf "%.4f" r.Runner.cpu_tx_share);
+    ("cpu_idle_share", fun r -> Printf.sprintf "%.4f" r.Runner.cpu_idle_share);
   ]
 
 let column_names = List.map fst fields

@@ -1,6 +1,7 @@
 module Summary = Adios_stats.Summary
 module Breakdown = Adios_stats.Breakdown
 module Clock = Adios_engine.Clock
+module Accountant = Adios_obs.Accountant
 
 let pf = Printf.printf
 
@@ -150,6 +151,31 @@ let summary_speedups ~baseline systems =
             (peak /. base_peak) (max_tail_ratio base_rs rs)
         end)
       systems
+
+(* The paper's busy-wait-elimination evidence (Fig. 2): where did each
+   worker cycle go. One row per accounting state, one column pair per
+   system: cycles burned per completed request, and the fraction of all
+   worker cycles (dispatcher excluded; shares sum to ~100%). *)
+let cpu_efficiency ~title systems =
+  pf "\n-- %s --\n" title;
+  pf "%-14s" "state";
+  List.iter (fun (name, _) -> pf "%15s %7s" name "share") systems;
+  pf "    (cycles/request, worker-cycle %%)\n";
+  List.iter
+    (fun st ->
+      pf "%-14s" (Accountant.state_name st);
+      List.iter
+        (fun (_, (r : Runner.result)) ->
+          let workers = max 1 (r.Runner.cpu.Accountant.cpus - 1) in
+          let cycles = Accountant.state_cycles r.Runner.cpu ~cpus:workers st in
+          let per_req =
+            float_of_int cycles /. float_of_int (max 1 r.Runner.completed)
+          in
+          let share = Accountant.share r.Runner.cpu ~cpus:workers st in
+          pf "%15.0f %6.1f%%" per_req (100. *. share))
+        systems;
+      pf "\n")
+    Accountant.states
 
 let result_line (r : Runner.result) =
   pf

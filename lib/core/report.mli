@@ -39,5 +39,11 @@ val summary_speedups :
     its largest per-load-point P99.9 improvement — the conclusion's
     "up to N x" headline numbers. *)
 
+val cpu_efficiency : title:string -> (string * Runner.result) list -> unit
+(** CPU-efficiency table (the paper's busy-wait-elimination evidence):
+    one row per accounting state, one column pair per system — cycles
+    per completed request and the fraction of worker cycles (dispatcher
+    excluded). *)
+
 val result_line : Runner.result -> unit
 (** One-line dump of a single run (diagnostics). *)

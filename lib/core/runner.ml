@@ -9,6 +9,9 @@ module Summary = Adios_stats.Summary
 module Breakdown = Adios_stats.Breakdown
 
 module Timeline = Adios_trace.Timeline
+module Accountant = Adios_obs.Accountant
+module Registry = Adios_obs.Registry
+module Sampler = Adios_obs.Sampler
 
 type result = {
   system : string;
@@ -43,6 +46,15 @@ type result = {
   retries_hwm : int;
   faults_injected : int;
   drops_qp : int;
+  cpu : Accountant.snapshot;
+  cpu_app_share : float;
+  cpu_pf_sw_share : float;
+  cpu_busy_wait_share : float;
+  cpu_cq_poll_share : float;
+  cpu_ctx_switch_share : float;
+  cpu_dispatch_share : float;
+  cpu_tx_share : float;
+  cpu_idle_share : float;
 }
 
 (* The standard gauge set every time-series run records (DESIGN.md's
@@ -71,7 +83,7 @@ let register_gauges timeline system =
       u)
 
 let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
-    ?timeline ?(sample_period = Clock.of_us 5.) () =
+    ?timeline ?metrics ?snapshot ?(sample_period = Clock.of_us 5.) () =
   let warmup = match warmup with Some w -> w | None -> requests / 10 in
   let sim = Sim.create () in
   let e2e_hist = Histogram.create () in
@@ -94,18 +106,35 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
     end
   in
   let system = System.create ?trace sim cfg app ~on_reply in
+  let labels = [ ("system", Config.system_name cfg.Config.system) ] in
+  (match metrics with
+  | Some reg -> System.register_metrics system reg ~labels
+  | None -> ());
+  (* one shared sampling clock drives both periodic consumers, so the
+     gauge timeline and the metrics snapshot CSV have aligned rows. The
+     sampler is a plain process: it shifts spawn sequence numbers but
+     emits no events into the datapath, so enabling it only adds rows
+     to the CSVs (which is why sweeps run without it). *)
+  let sampler = Sampler.create sim ~period:sample_period in
   (match timeline with
-  | None -> ()
   | Some tl ->
     register_gauges tl system;
-    (* the sampler is a plain process: it shifts spawn sequence numbers
-       but emits no events into the datapath, so enabling it only adds
-       rows to the CSV *)
-    Proc.spawn sim (fun () ->
-        while true do
-          Proc.wait sample_period;
-          Timeline.sample tl ~ts:(Sim.now sim)
-        done));
+    Sampler.on_tick sampler (fun ~ts -> Timeline.sample tl ~ts)
+  | None -> ());
+  (match snapshot with
+  | Some snap ->
+    let reg =
+      match metrics with
+      | Some reg -> reg
+      | None ->
+        let reg = Registry.create () in
+        System.register_metrics system reg ~labels;
+        reg
+    in
+    Registry.attach_timeline reg snap;
+    Sampler.on_tick sampler (fun ~ts -> Timeline.sample snap ~ts)
+  | None -> ());
+  Sampler.start sampler;
   let client_link =
     Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead
       ()
@@ -167,6 +196,10 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
          (fun i h -> (app.App.kinds.(i), Summary.of_histogram h))
          kind_hists)
   in
+  let cpu = Accountant.snapshot (System.accountant system) in
+  (* shares over worker slots only: the dispatcher is a separate CPU
+     and would dilute the per-worker picture *)
+  let share st = Accountant.share cpu ~cpus:cfg.Config.workers st in
   {
     system = Config.system_name cfg.Config.system;
     app = app.App.name;
@@ -206,4 +239,13 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
     retries_hwm = counters.System.retries_hwm;
     faults_injected = System.faults_injected system;
     drops_qp = counters.System.drops_qp;
+    cpu;
+    cpu_app_share = share Accountant.App_compute;
+    cpu_pf_sw_share = share Accountant.Pf_software;
+    cpu_busy_wait_share = share Accountant.Busy_wait;
+    cpu_cq_poll_share = share Accountant.Cq_poll;
+    cpu_ctx_switch_share = share Accountant.Ctx_switch;
+    cpu_dispatch_share = share Accountant.Dispatch;
+    cpu_tx_share = share Accountant.Tx;
+    cpu_idle_share = share Accountant.Idle;
   }

@@ -42,6 +42,18 @@ type result = {
   retries_hwm : int;  (** most reposts any single fetch needed *)
   faults_injected : int;  (** completions dropped/delayed by the injector *)
   drops_qp : int;  (** prefetch posts refused by a full QP *)
+  cpu : Adios_obs.Accountant.snapshot;
+      (** per-CPU time-in-state accounting over the whole run (workers
+          first, dispatcher last); plain data, safe to marshal across
+          sweep workers *)
+  cpu_app_share : float;  (** worker-cycle fractions by state: compute *)
+  cpu_pf_sw_share : float;  (** ... page-fault software path *)
+  cpu_busy_wait_share : float;  (** ... spinning on fetch / TX CQEs *)
+  cpu_cq_poll_share : float;  (** ... polling before switching back in *)
+  cpu_ctx_switch_share : float;  (** ... unithread create + switches *)
+  cpu_dispatch_share : float;  (** ... steal scans (worker-side dispatch) *)
+  cpu_tx_share : float;  (** ... posting replies *)
+  cpu_idle_share : float;  (** ... parked with nothing to run *)
 }
 
 val run :
@@ -53,6 +65,8 @@ val run :
   ?max_seconds:float ->
   ?trace:Adios_trace.Sink.t ->
   ?timeline:Adios_trace.Timeline.t ->
+  ?metrics:Adios_obs.Registry.t ->
+  ?snapshot:Adios_trace.Timeline.t ->
   ?sample_period:Adios_engine.Clock.cycles ->
   unit ->
   result
@@ -68,4 +82,12 @@ val run :
     gauge set registered (queue depth, ready backlog, busy workers,
     in-flight faults, free frames, buffers in use, fetch-link
     utilization) and is sampled every [sample_period] cycles
-    (default 5 us). *)
+    (default 5 us).
+
+    [metrics], if given, has the full metric set registered into it
+    ({!System.register_metrics}) under a [system] label; read it after
+    [run] returns (e.g. through {!Adios_obs.Openmetrics.render}).
+    [snapshot], if given, is sampled with every scalar metric as a
+    series. Both periodic consumers — [timeline] and [snapshot] — are
+    driven by one {!Adios_obs.Sampler}, so their rows share timestamps
+    and align 1:1. *)

@@ -108,3 +108,15 @@ val ready_backlog : t -> int
 
 val busy_workers : t -> int
 (** Workers currently not idle (gauge). *)
+
+val accountant : t -> Adios_obs.Accountant.t
+(** Per-CPU time-in-state accounting: slots [0 .. workers-1] are the
+    workers, the last slot the dispatcher. Always on — the switches only
+    settle integrators and cannot perturb the run. *)
+
+val register_metrics :
+  t -> Adios_obs.Registry.t -> labels:(string * string) list -> unit
+(** Register every counter this module owns, the occupancy gauges, the
+    NIC / pager / reclaimer metrics and the CPU-state accounting into
+    [reg] under [labels]. The single registration point the
+    [metric-registry] lint rule checks the [counters] record against. *)

@@ -137,6 +137,79 @@ let check_conservation ds =
         checks)
     ds.Dataset.rows
 
+(* --- CPU accounting ------------------------------------------------------- *)
+
+let cpu_share_columns =
+  [
+    "cpu_app_share";
+    "cpu_pf_sw_share";
+    "cpu_busy_wait_share";
+    "cpu_cq_poll_share";
+    "cpu_ctx_switch_share";
+    "cpu_dispatch_share";
+    "cpu_tx_share";
+    "cpu_idle_share";
+  ]
+
+(* Conservation of worker cycles: the accountant's states partition each
+   worker's time, so the exported shares must sum to 1 on every row (up
+   to the 4-decimal CSV rounding of 8 columns). A gap or double-count in
+   the system.ml instrumentation shows up here. *)
+let check_cpu_conservation ?(tol = 0.01) ds =
+  List.concat_map
+    (fun row ->
+      let sum =
+        List.fold_left
+          (fun acc c -> acc +. Dataset.getf ds row c)
+          0. cpu_share_columns
+      in
+      if Float.abs (sum -. 1.) <= tol then []
+      else
+        [ Printf.sprintf
+            "%s/%s @ %s krps: worker state shares sum to %.4f, not 1.0 — \
+             cycles leaked or double-counted"
+            (Dataset.get ds row "system")
+            (Dataset.get ds row "app")
+            (Dataset.get ds row "load")
+            sum ])
+    ds.Dataset.rows
+
+(* The paper's headline (Fig. 2): busy-waiting burns the baseline's
+   worker cycles while Adios eliminates the spin entirely. Gate the
+   direction: Adios must stay below [adios_max] at every point, and each
+   spinning baseline must exceed [spin_min] somewhere at-or-past its
+   knee (at high load the spin dominates; at low load workers idle). *)
+let check_busywait_elimination ?(adios_max = 0.02) ?(spin_min = 0.3) ds =
+  List.concat_map
+    (fun (app, _) ->
+      List.concat_map
+        (fun system ->
+          let rows = curve ds ~system ~app in
+          let shares =
+            List.map (fun row -> Dataset.getf ds row "cpu_busy_wait_share") rows
+          in
+          if String.equal system "Adios" then
+            List.concat_map
+              (fun share ->
+                if share <= adios_max then []
+                else
+                  [ Printf.sprintf
+                      "Adios/%s: busy-wait share %.3f exceeds %.3f — the \
+                       yield path regressed into spinning"
+                      app share adios_max ])
+              shares
+          else
+            let peak = List.fold_left Float.max 0. shares in
+            if peak >= spin_min then []
+            else
+              [ Printf.sprintf
+                  "%s/%s: peak busy-wait share %.3f never reaches %.3f — \
+                   the baseline stopped spinning, so the comparison is \
+                   no longer against busy-waiting"
+                  system app peak spin_min ])
+        (Dataset.systems ds))
+    (Dataset.group_by ds ~name:"app")
+
 (* --- golden comparison --------------------------------------------------- *)
 
 (* Absolute tolerance bands per column. The simulator is deterministic,
@@ -153,6 +226,10 @@ let default_tolerance = function
   | "offered_krps" | "achieved_krps" -> Band { abs = 10.; rel = 0.05 }
   | "drop_fraction" -> Band { abs = 0.02; rel = 0. }
   | "rdma_util" -> Band { abs = 0.05; rel = 0. }
+  (* worker-cycle shares are fractions of the whole run: small absolute
+     drift is expected from scheduling shifts, relative drift is not *)
+  | c when String.length c > 4 && String.sub c 0 4 = "cpu_" ->
+    Band { abs = 0.02; rel = 0. }
   (* counters: faults, evictions, preemptions, stalls, drops, ... *)
   | _ -> Band { abs = 50.; rel = 0.25 }
 
@@ -212,3 +289,5 @@ let check_all ?k ds =
     (Dataset.apps ds)
   @ check_throughput_monotone ds
   @ check_conservation ds
+  @ check_cpu_conservation ds
+  @ check_busywait_elimination ds

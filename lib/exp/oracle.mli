@@ -34,6 +34,21 @@ val check_conservation : Dataset.t -> violation list
     dropped = drops_queue + drops_buffer, handled + errored = completed,
     completed = admitted, prefetch useful + wasted <= issued. *)
 
+val cpu_share_columns : string list
+(** The eight worker-cycle-share columns, in export order. *)
+
+val check_cpu_conservation : ?tol:float -> Dataset.t -> violation list
+(** Per-row conservation of worker cycles: the eight state shares must
+    sum to 1 within [tol] (default 0.01, covering CSV rounding). A gap
+    or double-count in the accounting instrumentation fails here. *)
+
+val check_busywait_elimination :
+  ?adios_max:float -> ?spin_min:float -> Dataset.t -> violation list
+(** The paper's headline direction: Adios's busy-wait share stays below
+    [adios_max] (default 0.02) at every point, while every spinning
+    baseline's peak busy-wait share reaches at least [spin_min]
+    (default 0.3) somewhere in its curve. *)
+
 type tolerance = Exact | Band of { abs : float; rel : float }
 
 val default_tolerance : string -> tolerance
@@ -52,4 +67,5 @@ val compare_golden :
 
 val check_all : ?k:float -> Dataset.t -> violation list
 (** The standard bundle: knees detected and ranked per app, throughput
-    monotone, conservation. *)
+    monotone, request conservation, worker-cycle-share conservation,
+    busy-wait elimination direction. *)

@@ -157,3 +157,17 @@ let prefill t page_list =
     (fun page ->
       if state t page = Remote && free_frames t > 0 then install t page)
     page_list
+
+let register_metrics t reg ~labels =
+  let module R = Adios_obs.Registry in
+  R.gauge reg ~name:"adios_pager_resident" ~help:"Pages currently resident"
+    ~labels (fun () -> float_of_int (resident t));
+  R.gauge reg ~name:"adios_pager_inflight"
+    ~help:"Pages with an in-flight fetch" ~labels (fun () ->
+      float_of_int (inflight t));
+  R.gauge reg ~name:"adios_pager_free_frames"
+    ~help:"Frames neither resident nor reserved" ~labels (fun () ->
+      float_of_int (free_frames t));
+  R.gauge reg ~name:"adios_pager_frame_waiters"
+    ~help:"Fault handlers parked waiting for a free frame" ~labels (fun () ->
+      float_of_int (frame_waiters t))

@@ -86,3 +86,8 @@ val frame_waiters : t -> int
 val prefill : t -> int list -> unit
 (** Warm-start: mark the listed [Remote] pages [Present] directly
     (used to start experiments at steady state). *)
+
+val register_metrics :
+  t -> Adios_obs.Registry.t -> labels:(string * string) list -> unit
+(** Expose the residency gauges (resident / inflight / free frames /
+    frame waiters) through the metrics registry under [labels]. *)

@@ -107,3 +107,7 @@ let trigger t =
 
 let evictions t = t.evictions
 let stop t = t.stopped <- true
+
+let register_metrics t reg ~labels =
+  Adios_obs.Registry.counter reg ~name:"adios_reclaimer_evictions_total"
+    ~help:"Pages evicted by the reclaimer" ~labels (fun () -> evictions t)

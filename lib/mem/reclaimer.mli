@@ -43,3 +43,8 @@ val evictions : t -> int
 
 val stop : t -> unit
 (** Terminate the reclaimer process (end of experiment). *)
+
+val register_metrics :
+  t -> Adios_obs.Registry.t -> labels:(string * string) list -> unit
+(** Expose the eviction counter through the metrics registry under
+    [labels]. *)

@@ -1,0 +1,437 @@
+module Histogram = Adios_stats.Histogram
+
+(* Power-of-four cycle boundaries: 8 ns to ~2 ms at the simulator's
+   2 GHz clock, enough to separate a preemption probe from a stuck
+   busy-wait episode. *)
+let bucket_bounds =
+  [ 16; 64; 256; 1024; 4096; 16384; 65536; 262144; 1048576; 4194304 ]
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf {|\\|}
+      | '"' -> Buffer.add_string buf {|\"|}
+      | '\n' -> Buffer.add_string buf {|\n|}
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      let pairs =
+        List.map
+          (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+          labels
+      in
+      Printf.sprintf "{%s}" (String.concat "," pairs)
+
+let type_name (m : Registry.metric) =
+  match m.value with
+  | Registry.Counter _ -> "counter"
+  | Registry.Gauge _ -> "gauge"
+  | Registry.Histogram _ -> "histogram"
+
+(* OpenMetrics: the counter *family* drops the _total suffix; the
+   sample keeps it. *)
+let family_name (m : Registry.metric) =
+  match m.value with
+  | Registry.Counter _ when String.length m.name > 6 ->
+      String.sub m.name 0 (String.length m.name - 6)
+  | _ -> m.name
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render_sample buf ~name ~labels v =
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s %s\n" name (render_labels labels) (float_str v))
+
+let render_metric buf (m : Registry.metric) =
+  match m.value with
+  | Registry.Counter read ->
+      render_sample buf ~name:m.name ~labels:m.labels (float_of_int (read ()))
+  | Registry.Gauge read -> render_sample buf ~name:m.name ~labels:m.labels (read ())
+  | Registry.Histogram read ->
+      let h = read () in
+      let total = Histogram.count h in
+      List.iter
+        (fun le ->
+          render_sample buf ~name:(m.name ^ "_bucket")
+            ~labels:(m.labels @ [ ("le", string_of_int le) ])
+            (float_of_int (Histogram.count_le h le)))
+        bucket_bounds;
+      render_sample buf ~name:(m.name ^ "_bucket")
+        ~labels:(m.labels @ [ ("le", "+Inf") ])
+        (float_of_int total);
+      render_sample buf ~name:(m.name ^ "_sum") ~labels:m.labels (Histogram.sum h);
+      render_sample buf ~name:(m.name ^ "_count") ~labels:m.labels
+        (float_of_int total)
+
+let render reg =
+  let metrics = Registry.metrics reg in
+  (* group by family, keeping first-appearance order *)
+  let order = ref [] in
+  let families = Hashtbl.create 32 in
+  List.iter
+    (fun m ->
+      let fam = family_name m in
+      (match Hashtbl.find_opt families fam with
+      | None ->
+          Hashtbl.replace families fam (type_name m, ref [ m ]);
+          order := fam :: !order
+      | Some (ty, members) ->
+          if ty <> type_name m then
+            invalid_arg
+              (Printf.sprintf
+                 "Openmetrics.render: family %s mixes types %s and %s" fam ty
+                 (type_name m));
+          members := m :: !members))
+    metrics;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun fam ->
+      let ty, members = Hashtbl.find families fam in
+      let members = List.rev !members in
+      let help = (List.hd members).Registry.help in
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" fam help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam ty);
+      List.iter (render_metric buf) members)
+    (List.rev !order);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Validator: a deliberately small, strict parser for the subset of
+   the exposition format we emit. The CI metrics-smoke job feeds the
+   file written by [adios_sim --metrics-out] back through this. *)
+
+type family = { ty : string; mutable sample_count : int }
+
+type series = {
+  key : string; (* name + rendered labels *)
+  base_labels : string; (* labels minus le, for bucket grouping *)
+  le : string option;
+  v : float;
+}
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+  | _ -> false
+
+let parse_name line pos =
+  let n = String.length line in
+  let i = ref pos in
+  while !i < n && is_name_char line.[!i] do
+    incr i
+  done;
+  if !i = pos then Error "expected metric name"
+  else Ok (String.sub line pos (!i - pos), !i)
+
+let parse_labels line pos =
+  (* pos points at '{'; returns ((k, v) list, pos after '}') *)
+  let n = String.length line in
+  let i = ref (pos + 1) in
+  let labels = ref [] in
+  let err msg = Error msg in
+  let rec loop () =
+    if !i >= n then err "unterminated label set"
+    else if line.[!i] = '}' then begin
+      incr i;
+      Ok (List.rev !labels, !i)
+    end
+    else
+      match parse_name line !i with
+      | Error e -> err e
+      | Ok (k, j) ->
+          if j >= n || line.[j] <> '=' then err "expected = after label name"
+          else if j + 1 >= n || line.[j + 1] <> '"' then
+            err "expected quoted label value"
+          else begin
+            let buf = Buffer.create 16 in
+            let p = ref (j + 2) in
+            let closed = ref false in
+            while (not !closed) && !p < n do
+              (match line.[!p] with
+              | '\\' ->
+                  if !p + 1 >= n then incr p (* trailing backslash: fail below *)
+                  else begin
+                    (match line.[!p + 1] with
+                    | '\\' -> Buffer.add_char buf '\\'
+                    | '"' -> Buffer.add_char buf '"'
+                    | 'n' -> Buffer.add_char buf '\n'
+                    | c -> Buffer.add_char buf c);
+                    incr p
+                  end
+              | '"' -> closed := true
+              | c -> Buffer.add_char buf c);
+              incr p
+            done;
+            if not !closed then err "unterminated label value"
+            else begin
+              labels := (k, Buffer.contents buf) :: !labels;
+              i := !p;
+              if !i < n && line.[!i] = ',' then begin
+                incr i;
+                loop ()
+              end
+              else if !i < n && line.[!i] = '}' then begin
+                incr i;
+                Ok (List.rev !labels, !i)
+              end
+              else err "expected , or } in label set"
+            end
+          end
+  in
+  loop ()
+
+let parse_sample line =
+  match parse_name line 0 with
+  | Error e -> Error e
+  | Ok (name, pos) -> (
+      let labels_result =
+        if pos < String.length line && line.[pos] = '{' then
+          parse_labels line pos
+        else Ok ([], pos)
+      in
+      match labels_result with
+      | Error e -> Error e
+      | Ok (labels, pos) ->
+          if pos >= String.length line || line.[pos] <> ' ' then
+            Error "expected space before value"
+          else
+            let rest =
+              String.trim
+                (String.sub line (pos + 1) (String.length line - pos - 1))
+            in
+            (* value, optionally followed by a timestamp *)
+            let value_str =
+              match String.index_opt rest ' ' with
+              | Some i -> String.sub rest 0 i
+              | None -> rest
+            in
+            let v =
+              match value_str with
+              | "+Inf" -> Some infinity
+              | "-Inf" -> Some neg_infinity
+              | "NaN" -> Some nan
+              | s -> float_of_string_opt s
+            in
+            (match v with
+            | None -> Error (Printf.sprintf "bad sample value %S" value_str)
+            | Some v ->
+                let le = List.assoc_opt "le" labels in
+                (* labels minus le, so the _bucket / _sum / _count samples
+                   of one histogram instance share a group key *)
+                let base =
+                  List.filter (fun (k, _) -> k <> "le") labels
+                  |> List.map (fun (k, v) -> k ^ "=" ^ v)
+                  |> String.concat ","
+                in
+                let key =
+                  name ^ "{"
+                  ^ (List.map (fun (k, v) -> k ^ "=" ^ v) labels
+                    |> String.concat ",")
+                  ^ "}"
+                in
+                Ok { key; base_labels = base; le; v }))
+
+let strip_suffix ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  if n > m && String.sub s (n - m) m = suffix then
+    Some (String.sub s 0 (n - m))
+  else None
+
+type bucket_group = {
+  mutable les : (float * float) list; (* (le, cumulative count), newest first *)
+  mutable total : float option; (* from the _count sample *)
+}
+
+let validate text =
+  let lines = String.split_on_char '\n' text in
+  (* drop the empty fragment after the final newline *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let families : (string, family) Hashtbl.t = Hashtbl.create 32 in
+  let seen_series = Hashtbl.create 256 in
+  let buckets : (string, bucket_group) Hashtbl.t = Hashtbl.create 32 in
+  let eof_seen = ref false in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let n_lines = List.length lines in
+  let find_family name ty suffix =
+    let base =
+      match suffix with
+      | "" -> Some name
+      | suffix -> strip_suffix ~suffix name
+    in
+    match base with
+    | None -> None
+    | Some fam -> (
+        match Hashtbl.find_opt families fam with
+        | Some f when f.ty = ty -> Some (fam, f)
+        | _ -> None)
+  in
+  let check_line lineno line =
+    if !eof_seen then err lineno "content after # EOF"
+    else if line = "# EOF" then begin
+      eof_seen := true;
+      if lineno <> n_lines then err lineno "# EOF is not the last line" else Ok ()
+    end
+    else if String.length line = 0 then err lineno "blank line"
+    else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then
+      match parse_name line 7 with
+      | Error e -> err lineno e
+      | Ok (_, pos) ->
+          if pos >= String.length line || line.[pos] <> ' ' then
+            err lineno "expected help text after family name"
+          else Ok ()
+    else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then
+      match parse_name line 7 with
+      | Error e -> err lineno e
+      | Ok (fam, pos) ->
+          let ty =
+            if pos < String.length line then
+              String.sub line (pos + 1) (String.length line - pos - 1)
+            else ""
+          in
+          if not (List.mem ty [ "counter"; "gauge"; "histogram" ]) then
+            err lineno (Printf.sprintf "unknown metric type %S" ty)
+          else if Hashtbl.mem families fam then
+            err lineno (Printf.sprintf "family %s declared twice" fam)
+          else begin
+            Hashtbl.replace families fam { ty; sample_count = 0 };
+            Ok ()
+          end
+    else if line.[0] = '#' then err lineno "unknown comment line"
+    else
+      match parse_sample line with
+      | Error e -> err lineno e
+      | Ok s ->
+          if Hashtbl.mem seen_series s.key then
+            err lineno (Printf.sprintf "duplicate series %s" s.key)
+          else begin
+            Hashtbl.replace seen_series s.key ();
+            (* resolve the owning family by suffix, most specific first *)
+            let name =
+              match String.index_opt s.key '{' with
+              | Some i -> String.sub s.key 0 i
+              | None -> s.key
+            in
+            let owner =
+              match find_family name "counter" "_total" with
+              | Some r -> Some (`Counter, r)
+              | None -> (
+                  match find_family name "histogram" "_bucket" with
+                  | Some r -> Some (`Bucket, r)
+                  | None -> (
+                      match find_family name "histogram" "_sum" with
+                      | Some r -> Some (`Sum, r)
+                      | None -> (
+                          match find_family name "histogram" "_count" with
+                          | Some r -> Some (`Count, r)
+                          | None -> (
+                              match find_family name "gauge" "" with
+                              | Some r -> Some (`Gauge, r)
+                              | None -> None))))
+            in
+            match owner with
+            | None ->
+                err lineno
+                  (Printf.sprintf "sample %s has no declared family" s.key)
+            | Some (kind, (fam, f)) -> (
+                f.sample_count <- f.sample_count + 1;
+                let group_key = fam ^ "|" ^ s.base_labels in
+                let group () =
+                  match Hashtbl.find_opt buckets group_key with
+                  | Some g -> g
+                  | None ->
+                      let g = { les = []; total = None } in
+                      Hashtbl.replace buckets group_key g;
+                      g
+                in
+                match kind with
+                | `Bucket -> (
+                    match s.le with
+                    | None -> err lineno "histogram bucket without le label"
+                    | Some le_str ->
+                        let le =
+                          if le_str = "+Inf" then Some infinity
+                          else float_of_string_opt le_str
+                        in
+                        (match le with
+                        | None -> err lineno (Printf.sprintf "bad le %S" le_str)
+                        | Some le ->
+                            let g = group () in
+                            g.les <- (le, s.v) :: g.les;
+                            Ok ()))
+                | `Count ->
+                    let g = group () in
+                    g.total <- Some s.v;
+                    Ok ()
+                | `Sum | `Counter | `Gauge ->
+                    if s.le <> None then
+                      err lineno "unexpected le label on non-bucket sample"
+                    else Ok ())
+          end
+  in
+  let rec check_lines lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        match check_line lineno line with
+        | Error _ as e -> e
+        | Ok () -> check_lines (lineno + 1) rest)
+  in
+  let check_buckets () =
+    Hashtbl.fold
+      (fun key g acc ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+            let les = List.rev g.les in
+            if les = [] then
+              Error (Printf.sprintf "histogram %s has no buckets" key)
+            else
+              let rec walk prev_le prev_v = function
+                | [] ->
+                    if prev_le < infinity then
+                      Error
+                        (Printf.sprintf "histogram %s lacks an le=\"+Inf\" bucket"
+                           key)
+                    else begin
+                      match g.total with
+                      | None ->
+                          Error
+                            (Printf.sprintf "histogram %s lacks a _count sample"
+                               key)
+                      | Some total ->
+                          if total <> prev_v then
+                            Error
+                              (Printf.sprintf
+                                 "histogram %s: _count %g <> +Inf bucket %g" key
+                                 total prev_v)
+                          else Ok ()
+                    end
+                | (le, v) :: rest ->
+                    if le <= prev_le then
+                      Error
+                        (Printf.sprintf "histogram %s: le values not ascending"
+                           key)
+                    else if v < prev_v then
+                      Error
+                        (Printf.sprintf
+                           "histogram %s: bucket counts not cumulative" key)
+                    else walk le v rest
+              in
+              walk neg_infinity 0. les)
+      buckets (Ok ())
+  in
+  match check_lines 1 lines with
+  | Error _ as e -> e
+  | Ok () ->
+      if not !eof_seen then Error "missing # EOF terminator"
+      else check_buckets ()

@@ -1,0 +1,28 @@
+(** OpenMetrics / Prometheus text exposition.
+
+    {!render} turns a {!Registry.t} into the text format: one
+    [# HELP] / [# TYPE] pair per metric family, counter samples with the
+    [_total] suffix, histograms as cumulative [_bucket{le=...}] samples
+    (fixed power-of-four cycle boundaries) plus [_sum] and [_count],
+    and a closing [# EOF]. Label values are escaped per the spec.
+
+    {!validate} is the small parser the CI metrics-smoke job runs over
+    the emitted file: it re-checks the grammar, the family/type
+    bookkeeping, bucket monotonicity and the [# EOF] terminator, so a
+    malformed exposition fails the pipeline rather than a scrape. *)
+
+val bucket_bounds : int list
+(** Upper bounds (cycles) of the finite histogram buckets, ascending;
+    a [+Inf] bucket is always appended after these. *)
+
+val render : Registry.t -> string
+(** @raise Invalid_argument if two metrics share a family name but
+    disagree on type. *)
+
+val validate : string -> (unit, string) result
+(** [Error msg] pinpoints the first malformed line. Checks: every
+    non-comment line parses as [name[{labels}] value]; every sample
+    belongs to a family declared by a preceding [# TYPE] with the right
+    suffix for its type; histogram families have a [+Inf] bucket,
+    cumulative bucket counts, and [_count] equal to the [+Inf] bucket;
+    no duplicate series; exactly one [# EOF], on the last line. *)

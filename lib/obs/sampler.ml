@@ -1,0 +1,30 @@
+module Sim = Adios_engine.Sim
+module Proc = Adios_engine.Proc
+
+type t = {
+  sim : Sim.t;
+  period : int;
+  mutable ticks : (ts:int -> unit) list; (* newest first *)
+  mutable started : bool;
+}
+
+let create sim ~period =
+  if period <= 0 then invalid_arg "Sampler.create: period must be positive";
+  { sim; period; ticks = []; started = false }
+
+let on_tick t f =
+  if t.started then invalid_arg "Sampler.on_tick: sampler already started";
+  t.ticks <- f :: t.ticks
+
+let start t =
+  if t.started then invalid_arg "Sampler.start: already started";
+  t.started <- true;
+  match List.rev t.ticks with
+  | [] -> ()
+  | ticks ->
+      Proc.spawn t.sim (fun () ->
+          while true do
+            Proc.wait t.period;
+            let ts = Sim.now t.sim in
+            List.iter (fun f -> f ~ts) ticks
+          done)

@@ -1,0 +1,26 @@
+(** Shared periodic sampling clock.
+
+    One simulation process drives every periodic consumer — the gauge
+    timeline and the metrics snapshot CSV — from the same tick, so
+    their rows carry identical timestamps and align 1:1. Consumers
+    register a callback with {!on_tick}; {!start} spawns the single
+    driving process. Like the trace sink, the ticks emit no events into
+    the datapath and never consult the RNG, so enabling sampling only
+    adds rows to the outputs (it does shift process spawn sequence
+    numbers, which is why sweeps run without it). *)
+
+type t
+
+val create : Adios_engine.Sim.t -> period:int -> t
+(** [period] in cycles. @raise Invalid_argument if [period <= 0]. *)
+
+val on_tick : t -> (ts:int -> unit) -> unit
+(** Register a callback run on every tick with the current simulated
+    time. Callbacks run in registration order.
+    @raise Invalid_argument after {!start}. *)
+
+val start : t -> unit
+(** Spawn the driving process: every [period] cycles, run the
+    callbacks. No-op when no callback is registered (so a run without
+    sampling consumers spawns nothing and replays bit-identically).
+    @raise Invalid_argument if called twice. *)

@@ -223,3 +223,16 @@ let posted nic = nic.posted
 let completed nic = nic.completed
 let read_bytes nic = nic.read_bytes
 let dropped_completions nic = nic.dropped
+
+let register_metrics nic reg ~labels =
+  let module R = Adios_obs.Registry in
+  R.counter reg ~name:"adios_nic_posted_total"
+    ~help:"Work requests accepted by the NIC" ~labels (fun () -> posted nic);
+  R.counter reg ~name:"adios_nic_completed_total"
+    ~help:"Completions delivered by the NIC" ~labels (fun () -> completed nic);
+  R.counter reg ~name:"adios_nic_read_bytes_total"
+    ~help:"Payload bytes fetched with READ work requests" ~labels (fun () ->
+      read_bytes nic);
+  R.counter reg ~name:"adios_nic_dropped_completions_total"
+    ~help:"Completions lost by the fault injector" ~labels (fun () ->
+      dropped_completions nic)

@@ -69,3 +69,11 @@ val read_bytes : 'a t -> int
 
 val dropped_completions : 'a t -> int
 (** Completions the fault injector lost since creation. *)
+
+val register_metrics :
+  'a t ->
+  Adios_obs.Registry.t ->
+  labels:(string * string) list ->
+  unit
+(** Expose the NIC counters (posted / completed / READ bytes / dropped
+    completions) through the metrics registry under [labels]. *)

@@ -110,6 +110,20 @@ let cdf t ?(points = 200) () =
     end
   end
 
+let count_le t v =
+  if v < 0 || t.total = 0 then 0
+  else begin
+    let hi = index_of v in
+    let acc = ref 0 in
+    let n = Array.length t.counts in
+    for i = 0 to min hi (n - 1) do
+      acc := !acc + t.counts.(i)
+    done;
+    !acc
+  end
+
+let sum t = t.sum
+
 let merge_into ~dst src =
   Array.iteri
     (fun i c -> if c > 0 then record_n dst (value_of i) c)

@@ -32,6 +32,14 @@ val percentile : t -> float -> int
 (** [percentile h p] with [p] in [\[0, 100\]]: smallest bucket value such
     that at least [p]% of observations are <= it. 0 if empty. *)
 
+val count_le : t -> int -> int
+(** [count_le h v] is the number of observations in buckets whose range
+    starts at or below [v] — cumulative counts at bucket resolution, as
+    needed for OpenMetrics [le] buckets. 0 for negative [v]. *)
+
+val sum : t -> float
+(** Sum of all recorded values (the OpenMetrics [_sum] sample). *)
+
 val cdf : t -> ?points:int -> unit -> (int * float) list
 (** [cdf h ()] samples the cumulative distribution as
     [(value, fraction <= value)] pairs over the non-empty buckets,

@@ -47,6 +47,14 @@ let golden_columns =
     "dropped";
     "buffer_hwm";
     "requests";
+    "cpu_app_share";
+    "cpu_pf_sw_share";
+    "cpu_busy_wait_share";
+    "cpu_cq_poll_share";
+    "cpu_ctx_switch_share";
+    "cpu_dispatch_share";
+    "cpu_tx_share";
+    "cpu_idle_share";
   ]
 
 let test_column_names () =

@@ -28,6 +28,8 @@ let test_rule_names () =
       "event-wildcard";
       "event-wiring";
       "counter-export";
+      "metric-export";
+      "counter-registry";
       "poly-compare";
       "float-equal";
       "no-abort";
@@ -270,6 +272,78 @@ let test_non_scalar_fields_exempt () =
           let get c = c.System.faults\n"
        ~export:exp_ok)
 
+(* --- metric registry (cross-file) -------------------------------------- *)
+
+let reg_def =
+  "let register_metrics t reg = Registry.counter reg ~name:\"adios_nic_ops_total\" \
+   ~help:\"h\" ~labels:[] (fun () -> t)\n"
+
+let reg_caller = "let go nic reg = Nic.register_metrics nic reg\n"
+
+let metric_sources caller =
+  [ ("lib/rdma/nic.ml", reg_def); ("lib/core/system.ml", caller) ]
+
+let test_metric_export_clean () =
+  check_clean "registered and called"
+    (Lint.check_metric_export ~sources:(metric_sources reg_caller))
+
+let test_metric_export_uncalled () =
+  let fs = Lint.check_metric_export ~sources:(metric_sources "let go () = ()\n") in
+  check_int "one unreachable register_metrics" 1 (List.length fs);
+  check_string "rule" "metric-export" (List.hd fs).Lint.rule;
+  check_string "anchored at the definition" "lib/rdma/nic.ml" (List.hd fs).Lint.file
+
+let test_metric_export_alias_resolves () =
+  check_clean "call through a module alias counts"
+    (Lint.check_metric_export
+       ~sources:
+         (metric_sources
+            "module N = Adios_rdma.Nic\nlet go nic reg = N.register_metrics nic reg\n"))
+
+let test_metric_export_bad_names () =
+  let bad src =
+    Lint.check_metric_export ~sources:[ ("lib/core/x.ml", src) ]
+  in
+  check_fires "counter without _total" "metric-export"
+    (bad "let f reg = Registry.counter reg ~name:\"adios_ops\" (fun () -> 0)\n");
+  check_fires "gauge with _total" "metric-export"
+    (bad "let f reg = Registry.gauge reg ~name:\"adios_depth_total\" (fun () -> 0.)\n");
+  check_fires "illegal characters" "metric-export"
+    (bad "let f reg = Registry.gauge reg ~name:\"adios_Depth\" (fun () -> 0.)\n");
+  check_clean "well-formed names pass"
+    (bad
+       "let f reg = Registry.gauge reg ~name:\"adios_depth\" (fun () -> 0.)\n\
+        let g reg = Registry.histogram reg ~name:\"adios_lat_us\" (fun () -> h)\n")
+
+(* --- counter registry (cross-file) ------------------------------------- *)
+
+let counter_registry src =
+  Lint.check_counter_registry ~system:("lib/core/system.ml", src)
+
+let test_counter_registry_clean () =
+  check_clean "every counter registered"
+    (counter_registry
+       "type counters = { mutable faults : int }\n\
+        let register_metrics t reg =\n\
+        \  Registry.counter reg ~name:\"adios_sys_faults_total\" ~help:\"h\"\n\
+        \    ~labels:[] (fun () -> t.counters.faults)\n")
+
+let test_counter_registry_orphan () =
+  let fs =
+    counter_registry
+      "type counters = { mutable faults : int; mutable orphan : int }\n\
+       let register_metrics t reg =\n\
+       \  Registry.counter reg ~name:\"adios_sys_faults_total\" ~help:\"h\"\n\
+       \    ~labels:[] (fun () -> t.counters.faults)\n"
+  in
+  check_int "one unregistered counter" 1 (List.length fs);
+  check_string "rule" "counter-registry" (List.hd fs).Lint.rule;
+  check_bool "names the field" true (contains_sub (List.hd fs).Lint.msg "orphan")
+
+let test_counter_registry_blind () =
+  check_fires "missing register_metrics is itself a finding" "counter-registry"
+    (counter_registry "type counters = { mutable faults : int }\n")
+
 (* --- repository self-check --------------------------------------------- *)
 
 let repo_root () =
@@ -341,6 +415,22 @@ let () =
           Alcotest.test_case "unread counter" `Quick test_counter_unread;
           Alcotest.test_case "unexported field" `Quick test_result_field_unexported;
           Alcotest.test_case "non-scalar exempt" `Quick test_non_scalar_fields_exempt;
+        ] );
+      ( "metric-export",
+        [
+          Alcotest.test_case "clean" `Quick test_metric_export_clean;
+          Alcotest.test_case "uncalled registration" `Quick
+            test_metric_export_uncalled;
+          Alcotest.test_case "alias resolves" `Quick
+            test_metric_export_alias_resolves;
+          Alcotest.test_case "name convention" `Quick test_metric_export_bad_names;
+        ] );
+      ( "counter-registry",
+        [
+          Alcotest.test_case "clean" `Quick test_counter_registry_clean;
+          Alcotest.test_case "orphan counter" `Quick test_counter_registry_orphan;
+          Alcotest.test_case "blind without binding" `Quick
+            test_counter_registry_blind;
         ] );
       ( "self-check",
         [ Alcotest.test_case "repository lints clean" `Quick test_repo_lints_clean ] );

@@ -1,0 +1,338 @@
+(* lib/obs tests: registry registration rules and label rendering, the
+   accountant's cycle-conservation identity (unit fixtures plus a qcheck
+   property over real end-to-end runs), episode-histogram merging, the
+   OpenMetrics render/validate round-trip with a golden exposition of a
+   tiny fixed run, and the shared sampling clock. *)
+
+module Config = Adios_core.Config
+module Runner = Adios_core.Runner
+module Registry = Adios_obs.Registry
+module Acct = Adios_obs.Accountant
+module Openmetrics = Adios_obs.Openmetrics
+module Sampler = Adios_obs.Sampler
+module Histogram = Adios_stats.Histogram
+module Sim = Adios_engine.Sim
+module Proc = Adios_engine.Proc
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
+let check_string = check Alcotest.string
+
+let raises_invalid f =
+  match f () with exception Invalid_argument _ -> true | _ -> false
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
+(* --- registry ----------------------------------------------------------- *)
+
+let gauge_metric ?(labels = []) name =
+  { Registry.name; help = "h"; labels; value = Registry.Gauge (fun () -> 0.) }
+
+let test_series_name () =
+  check_string "bare name" "adios_depth"
+    (Registry.series_name (gauge_metric "adios_depth"));
+  check_string "labels in registration order" "adios_depth{worker=3,system=adios}"
+    (Registry.series_name
+       (gauge_metric ~labels:[ ("worker", "3"); ("system", "adios") ] "adios_depth"))
+
+let test_registration_rules () =
+  let reg = Registry.create () in
+  check_bool "prefix required" true
+    (raises_invalid (fun () ->
+         Registry.gauge reg ~name:"foo_depth" ~help:"h" (fun () -> 0.)));
+  check_bool "counter must end in _total" true
+    (raises_invalid (fun () ->
+         Registry.counter reg ~name:"adios_ops" ~help:"h" (fun () -> 0)));
+  check_bool "label names are validated" true
+    (raises_invalid (fun () ->
+         Registry.gauge reg ~name:"adios_depth" ~help:"h"
+           ~labels:[ ("Bad-Label", "x") ]
+           (fun () -> 0.)));
+  Registry.gauge reg ~name:"adios_depth" ~help:"h"
+    ~labels:[ ("worker", "0") ]
+    (fun () -> 0.);
+  check_bool "duplicate (name, labels) rejected" true
+    (raises_invalid (fun () ->
+         Registry.gauge reg ~name:"adios_depth" ~help:"h"
+           ~labels:[ ("worker", "0") ]
+           (fun () -> 0.)));
+  (* same name, different labels: a second series of the same family *)
+  Registry.gauge reg ~name:"adios_depth" ~help:"h"
+    ~labels:[ ("worker", "1") ]
+    (fun () -> 0.);
+  check_int "both series registered" 2 (List.length (Registry.metrics reg))
+
+let test_scalar_series () =
+  let reg = Registry.create () in
+  Registry.counter reg ~name:"adios_ops_total" ~help:"h" (fun () -> 7);
+  Registry.histogram reg ~name:"adios_lat" ~help:"h" (fun () ->
+      Histogram.create ());
+  Registry.gauge reg ~name:"adios_depth" ~help:"h" (fun () -> 2.5);
+  let series = Registry.scalar_series reg in
+  check
+    (Alcotest.list Alcotest.string)
+    "histograms skipped, order kept"
+    [ "adios_ops_total"; "adios_depth" ]
+    (List.map fst series);
+  check
+    (Alcotest.list (Alcotest.float 1e-9))
+    "readers sample live values" [ 7.0; 2.5 ]
+    (List.map (fun (_, read) -> read ()) series)
+
+(* --- accountant --------------------------------------------------------- *)
+
+let cycles_in snap ~cpu st = snap.Acct.cycles.(cpu).(Acct.state_index st)
+
+let test_accountant_partition () =
+  let sim = Sim.create () in
+  let acct = Acct.create sim ~cpus:2 in
+  Proc.spawn sim (fun () ->
+      Acct.switch acct ~cpu:0 Acct.App_compute;
+      Proc.wait 100;
+      Acct.switch acct ~cpu:0 Acct.Tx;
+      Proc.wait 50;
+      Acct.switch acct ~cpu:0 Acct.Idle);
+  Sim.run sim;
+  let s = Acct.snapshot acct in
+  check_int "duration" 150 s.Acct.duration;
+  check_int "app cycles" 100 (cycles_in s ~cpu:0 Acct.App_compute);
+  check_int "tx cycles" 50 (cycles_in s ~cpu:0 Acct.Tx);
+  check_int "untouched cpu idles" 150 (cycles_in s ~cpu:1 Acct.Idle);
+  Array.iter
+    (fun row ->
+      check_int "row sums to duration" s.Acct.duration
+        (Array.fold_left ( + ) 0 row))
+    s.Acct.cycles
+
+let test_accountant_noop_switch () =
+  let sim = Sim.create () in
+  let acct = Acct.create sim ~cpus:1 in
+  Proc.spawn sim (fun () ->
+      Acct.switch acct ~cpu:0 Acct.App_compute;
+      Proc.wait 40;
+      (* switching to the current state must not close the episode *)
+      Acct.switch acct ~cpu:0 Acct.App_compute;
+      Proc.wait 60;
+      Acct.switch acct ~cpu:0 Acct.Idle);
+  Sim.run sim;
+  let s = Acct.snapshot acct in
+  let eps = s.Acct.episodes.(0).(Acct.state_index Acct.App_compute) in
+  check_int "one unsplit episode" 1 (Histogram.count eps);
+  check_int "full length" 100 (Histogram.max_value eps);
+  check_int "cycles unaffected" 100 (cycles_in s ~cpu:0 Acct.App_compute)
+
+let test_merged_episodes () =
+  let sim = Sim.create () in
+  let acct = Acct.create sim ~cpus:2 in
+  Proc.spawn sim (fun () ->
+      Acct.switch acct ~cpu:0 Acct.App_compute;
+      Acct.switch acct ~cpu:1 Acct.App_compute;
+      Proc.wait 30;
+      Acct.switch acct ~cpu:1 Acct.Idle;
+      Proc.wait 70;
+      Acct.switch acct ~cpu:0 Acct.Idle);
+  Sim.run sim;
+  let s = Acct.snapshot acct in
+  let merged = Acct.merged_episodes s Acct.App_compute in
+  check_int "episodes from both cpus" 2 (Histogram.count merged);
+  check_int "lengths preserved: min" 30 (Histogram.min_value merged);
+  check_int "lengths preserved: max" 100 (Histogram.max_value merged);
+  (* merging is a copy: the snapshot's own histograms are untouched *)
+  check_int "snapshot not mutated" 1
+    (Histogram.count s.Acct.episodes.(0).(Acct.state_index Acct.App_compute))
+
+let small_array () = Adios_apps.Array_bench.app ~pages:2048 ()
+
+let prop_conservation =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        triple
+          (oneofl [ Config.Adios; Config.Dilos; Config.Dilos_p; Config.Hermit ])
+          (int_range 300 1500) (int_range 0 999))
+  in
+  QCheck.Test.make ~count:8
+    ~name:"per-CPU accounted cycles partition every run exactly" gen
+    (fun (sys, load, seed) ->
+      let cfg = { (Config.default sys) with Config.seed } in
+      let r =
+        Runner.run cfg (small_array ())
+          ~offered_krps:(float_of_int load)
+          ~requests:2000 ()
+      in
+      let s = r.Runner.cpu in
+      let exact =
+        Array.for_all
+          (fun row -> Array.fold_left ( + ) 0 row = s.Acct.duration)
+          s.Acct.cycles
+      in
+      let share_sum =
+        List.fold_left ( +. ) 0.
+          [
+            r.Runner.cpu_app_share;
+            r.Runner.cpu_pf_sw_share;
+            r.Runner.cpu_busy_wait_share;
+            r.Runner.cpu_cq_poll_share;
+            r.Runner.cpu_ctx_switch_share;
+            r.Runner.cpu_dispatch_share;
+            r.Runner.cpu_tx_share;
+            r.Runner.cpu_idle_share;
+          ]
+      in
+      exact
+      && Array.length s.Acct.cycles = s.Acct.cpus
+      && s.Acct.cpus = cfg.Config.workers + 1
+      && Float.abs (share_sum -. 1.) < 1e-6)
+
+(* --- OpenMetrics -------------------------------------------------------- *)
+
+(* One tiny deterministic run shared by the golden and round-trip tests. *)
+let tiny_exposition =
+  lazy
+    (let reg = Registry.create () in
+     let _ =
+       Runner.run (Config.default Config.Adios) (small_array ())
+         ~offered_krps:300. ~requests:500 ~metrics:reg ()
+     in
+     Openmetrics.render reg)
+
+let test_render_validates () =
+  match Openmetrics.validate (Lazy.force tiny_exposition) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("self-validation failed: " ^ msg)
+
+(* Regenerate with
+   cd test && OBS_REGEN_GOLDEN=1 dune exec ./test_obs.exe
+   then copy the file out of _build into test/golden/. *)
+let test_openmetrics_golden () =
+  let got = Lazy.force tiny_exposition in
+  match Sys.getenv_opt "OBS_REGEN_GOLDEN" with
+  | Some _ ->
+    Out_channel.with_open_bin "golden/tiny-metrics.prom" (fun oc ->
+        Out_channel.output_string oc got)
+  | None ->
+    let want =
+      In_channel.with_open_bin "golden/tiny-metrics.prom" In_channel.input_all
+    in
+    check_string "tiny fixed run matches the golden exposition" want got
+
+let test_label_escaping () =
+  let reg = Registry.create () in
+  Registry.gauge reg ~name:"adios_esc" ~help:"h"
+    ~labels:[ ("path", "a\"b\\c\nd") ]
+    (fun () -> 1.);
+  let s = Openmetrics.render reg in
+  check_bool "backslash, quote and newline escaped" true
+    (contains_sub s "adios_esc{path=\"a\\\"b\\\\c\\nd\"} 1");
+  match Openmetrics.validate s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let rejects name body =
+  Alcotest.test_case name `Quick (fun () ->
+      match Openmetrics.validate body with
+      | Ok () -> Alcotest.fail "malformed exposition accepted"
+      | Error _ -> ())
+
+let validator_rejections =
+  [
+    rejects "missing EOF" "# TYPE adios_x gauge\nadios_x 1\n";
+    rejects "sample without TYPE" "adios_x 1\n# EOF\n";
+    rejects "counter sample without _total"
+      "# TYPE adios_ops counter\nadios_ops 1\n# EOF\n";
+    rejects "unparsable sample" "# TYPE adios_x gauge\nadios_x one\n# EOF\n";
+    rejects "duplicate series"
+      "# TYPE adios_x gauge\nadios_x 1\nadios_x 2\n# EOF\n";
+    rejects "non-cumulative buckets"
+      "# TYPE adios_h histogram\n\
+       adios_h_bucket{le=\"16\"} 5\n\
+       adios_h_bucket{le=\"64\"} 3\n\
+       adios_h_bucket{le=\"+Inf\"} 5\n\
+       adios_h_sum 10\n\
+       adios_h_count 5\n\
+       # EOF\n";
+    rejects "missing +Inf bucket"
+      "# TYPE adios_h histogram\n\
+       adios_h_bucket{le=\"16\"} 5\n\
+       adios_h_sum 10\n\
+       adios_h_count 5\n\
+       # EOF\n";
+    rejects "count disagrees with +Inf"
+      "# TYPE adios_h histogram\n\
+       adios_h_bucket{le=\"16\"} 5\n\
+       adios_h_bucket{le=\"+Inf\"} 5\n\
+       adios_h_sum 10\n\
+       adios_h_count 6\n\
+       # EOF\n";
+  ]
+
+(* --- sampler ------------------------------------------------------------ *)
+
+let test_sampler_alignment () =
+  let sim = Sim.create () in
+  let sampler = Sampler.create sim ~period:100 in
+  let a = ref [] and b = ref [] in
+  Sampler.on_tick sampler (fun ~ts -> a := ts :: !a);
+  Sampler.on_tick sampler (fun ~ts -> b := ts :: !b);
+  Sampler.start sampler;
+  Sim.run_until sim 550;
+  check
+    (Alcotest.list Alcotest.int)
+    "ticks on the period" [ 100; 200; 300; 400; 500 ] (List.rev !a);
+  check
+    (Alcotest.list Alcotest.int)
+    "every consumer sees the same clock" !a !b
+
+let test_sampler_idle_without_consumers () =
+  let sim = Sim.create () in
+  let sampler = Sampler.create sim ~period:100 in
+  Sampler.start sampler;
+  check_int "no consumers, no events" 0 (Sim.pending sim)
+
+let test_sampler_guards () =
+  let sim = Sim.create () in
+  check_bool "period must be positive" true
+    (raises_invalid (fun () -> Sampler.create sim ~period:0));
+  let sampler = Sampler.create sim ~period:100 in
+  Sampler.on_tick sampler (fun ~ts:_ -> ());
+  Sampler.start sampler;
+  check_bool "late registration rejected" true
+    (raises_invalid (fun () -> Sampler.on_tick sampler (fun ~ts:_ -> ())));
+  check_bool "double start rejected" true
+    (raises_invalid (fun () -> Sampler.start sampler))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "series_name" `Quick test_series_name;
+          Alcotest.test_case "registration rules" `Quick test_registration_rules;
+          Alcotest.test_case "scalar series" `Quick test_scalar_series;
+        ] );
+      ( "accountant",
+        [
+          Alcotest.test_case "partition" `Quick test_accountant_partition;
+          Alcotest.test_case "no-op switch" `Quick test_accountant_noop_switch;
+          Alcotest.test_case "episode merge" `Quick test_merged_episodes;
+          QCheck_alcotest.to_alcotest prop_conservation;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "render validates" `Quick test_render_validates;
+          Alcotest.test_case "golden exposition" `Quick test_openmetrics_golden;
+          Alcotest.test_case "label escaping" `Quick test_label_escaping;
+        ]
+        @ validator_rejections );
+      ( "sampler",
+        [
+          Alcotest.test_case "aligned ticks" `Quick test_sampler_alignment;
+          Alcotest.test_case "idle without consumers" `Quick
+            test_sampler_idle_without_consumers;
+          Alcotest.test_case "guards" `Quick test_sampler_guards;
+        ] );
+    ]
