@@ -9,10 +9,16 @@
 
 module Config = Adios_core.Config
 module Report = Adios_core.Report
+module Runner = Adios_core.Runner
 module Spec = Adios_exp.Spec
 module Sweep = Adios_exp.Sweep
 module Dataset = Adios_exp.Dataset
 module Oracle = Adios_exp.Oracle
+
+(* The oracle bundle a spec must pass: clustered sweeps trade the
+   multi-system shape checks for the failover and replication gates. *)
+let bundle spec ?k ds =
+  if Spec.clustered spec then Oracle.check_cluster ds else Oracle.check_all ?k ds
 
 let system_of_name = function
   | "dilos" -> Ok Config.Dilos
@@ -134,8 +140,8 @@ let regen_golden dir jobs quiet =
   List.iter
     (fun spec ->
       let run = Sweep.run ~jobs ~progress:(progress_line quiet) spec in
-      let ds = Dataset.of_run run in
-      (match Oracle.check_all ds with
+      let ds = Dataset.of_run ~cluster:(Spec.clustered spec) run in
+      (match bundle spec ds with
       | [] -> ()
       | violations ->
         (* a golden that fails its own oracles would freeze a broken
@@ -149,15 +155,64 @@ let regen_golden dir jobs quiet =
        with Sys_error msg -> fail_write path msg);
       Format.printf "golden %s: %d rows -> %s@." spec.Spec.name
         (Dataset.length ds) path)
-    Spec.reduced
+    Spec.all_goldens
+
+(* Simulator-throughput benchmark: run every golden spec (the canonical
+   reduced sweeps plus the cluster topology grid) and record wall time
+   against the deterministic work measure — events processed by the
+   discrete-event engine. BENCH_sweep.json at the repo root is the
+   checked-in snapshot; regenerate with `adios_sweep --bench`. *)
+let bench path jobs quiet =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"harness\": \"adios_sweep --bench\",\n  \
+                     \"jobs\": %d,\n  \"sweeps\": [\n" jobs);
+  let first = ref true in
+  List.iter
+    (fun (spec : Spec.t) ->
+      (* lint: allow determinism -- wall-clock benchmark timing, not in a dataset *)
+      let t0 = Unix.gettimeofday () in
+      let run = Sweep.run ~jobs ~progress:(progress_line quiet) spec in
+      (* lint: allow determinism -- same benchmark timing *)
+      let wall = Unix.gettimeofday () -. t0 in
+      let events =
+        List.fold_left (fun acc (_, r) -> acc + r.Runner.sim_events) 0 run
+      in
+      let requests =
+        List.fold_left (fun acc (_, r) -> acc + r.Runner.requests) 0 run
+      in
+      let rate = float_of_int events /. Float.max 1e-9 wall in
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"sweep\": %S, \"points\": %d, \"requests\": %d, \
+            \"sim_events\": %d, \"wall_s\": %.3f, \"events_per_s\": %.0f}"
+           spec.Spec.name (List.length run) requests events wall rate);
+      Format.printf "bench %s: %d points, %d sim events in %.2fs \
+                     (%.2e events/s)@."
+        spec.Spec.name (List.length run) events wall rate)
+    Spec.all_goldens;
+  Buffer.add_string buf "\n  ]\n}\n";
+  match
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Buffer.contents buf))
+  with
+  | () -> Format.printf "bench results: %s@." path
+  | exception Sys_error msg -> fail_write path msg
 
 let run spec_name systems apps loads requests seed jobs out golden oracle
-    knee_k json quiet regen =
-  match regen with
-  | Some dir ->
+    knee_k json quiet regen bench_out =
+  match (regen, bench_out) with
+  | Some dir, _ ->
     regen_golden dir jobs quiet;
     0
-  | None ->
+  | None, Some path ->
+    bench path jobs quiet;
+    0
+  | None, None ->
     let spec =
       match spec_name with
       | Some name -> (
@@ -166,7 +221,7 @@ let run spec_name systems apps loads requests seed jobs out golden oracle
         | None ->
           Format.eprintf "adios_sweep: unknown spec %S (valid: %s)@." name
             (String.concat ", "
-               (List.map (fun (s : Spec.t) -> s.Spec.name) Spec.reduced));
+               (List.map (fun (s : Spec.t) -> s.Spec.name) Spec.all_goldens));
           exit 1)
       | None ->
         (try Spec.make ~name:"custom" ~systems ~apps ~loads ~requests ~seed ()
@@ -184,7 +239,10 @@ let run spec_name systems apps loads requests seed jobs out golden oracle
         spec.Spec.seed jobs;
     (* lint: allow determinism -- elapsed-time print only, not in the dataset *)
     let t0 = Unix.gettimeofday () in
-    let ds = Dataset.of_run (Sweep.run ~jobs ~progress:(progress_line quiet) spec) in
+    let ds =
+      Dataset.of_run ~cluster:(Spec.clustered spec)
+        (Sweep.run ~jobs ~progress:(progress_line quiet) spec)
+    in
     if not quiet then
       Format.printf "sweep %s: %d rows in %.1fs@." spec.Spec.name
         (Dataset.length ds)
@@ -209,7 +267,7 @@ let run spec_name systems apps loads requests seed jobs out golden oracle
         exit 1
       | Ok g ->
         ok := report "golden" (Oracle.compare_golden ~golden:g ds) && !ok));
-    if oracle then ok := report "oracle" (Oracle.check_all ~k:knee_k ds) && !ok;
+    if oracle then ok := report "oracle" (bundle spec ~k:knee_k ds) && !ok;
     if !ok then 0 else 1
 
 open Cmdliner
@@ -221,9 +279,9 @@ let spec_arg =
     & info [ "spec" ] ~docv:"NAME"
         ~doc:
           "Run a canonical reduced-scale spec (array-reduced, \
-           memcached-reduced, rocksdb-scan-reduced) instead of building \
-           one from the grid flags. These are the specs the checked-in \
-           goldens were generated from.")
+           memcached-reduced, rocksdb-scan-reduced, cluster-reduced) \
+           instead of building one from the grid flags. These are the \
+           specs the checked-in goldens were generated from.")
 
 let systems_arg =
   let systems_conv =
@@ -329,9 +387,20 @@ let regen_arg =
     & opt (some string) None
     & info [ "regen-golden" ] ~docv:"DIR"
         ~doc:
-          "Re-run every canonical reduced spec and rewrite DIR/<name>.csv \
-           (normally test/golden). Refuses to write a golden that fails \
-           its own oracles.")
+          "Re-run every golden spec (the reduced sweeps plus \
+           cluster-reduced) and rewrite DIR/<name>.csv (normally \
+           test/golden). Refuses to write a golden that fails its own \
+           oracles.")
+
+let bench_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench" ] ~docv:"FILE"
+        ~doc:
+          "Run every golden spec and write a simulator-throughput \
+           benchmark (sim events, wall time, events/s per sweep) to \
+           FILE. The checked-in snapshot is BENCH_sweep.json.")
 
 let cmd =
   let doc = "run a declarative sweep with figure-shape oracles and goldens" in
@@ -340,6 +409,6 @@ let cmd =
     Term.(
       const run $ spec_arg $ systems_arg $ apps_arg $ loads_arg $ requests_arg
       $ seed_arg $ jobs_arg $ out_arg $ golden_arg $ oracle_arg $ knee_k_arg
-      $ json_arg $ quiet_arg $ regen_arg)
+      $ json_arg $ quiet_arg $ regen_arg $ bench_arg)
 
 let () = exit (Cmd.eval' cmd)

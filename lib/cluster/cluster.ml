@@ -1,0 +1,385 @@
+module Sim = Adios_engine.Sim
+module Clock = Adios_engine.Clock
+module Rng = Adios_engine.Rng
+module Memnode = Adios_rdma.Memnode
+module Link = Adios_rdma.Link
+module Nic = Adios_rdma.Nic
+module Verbs = Adios_rdma.Verbs
+module Sink = Adios_trace.Sink
+module Event = Adios_trace.Event
+module Registry = Adios_obs.Registry
+
+type placement = Striped | Hashed
+
+type config = {
+  nodes : int;
+  replication : int;
+  placement : placement;
+  crashes : int;
+  crash_at_us : float;
+  slow_nodes : int;
+  slow_at_us : float;
+  slow_factor : float;
+}
+
+let default =
+  {
+    nodes = 1;
+    replication = 1;
+    placement = Striped;
+    crashes = 0;
+    crash_at_us = 1000.;
+    slow_nodes = 0;
+    slow_at_us = 1000.;
+    slow_factor = 0.;
+  }
+
+let normalize c =
+  let nodes = max 1 c.nodes in
+  {
+    c with
+    nodes;
+    replication = min nodes (max 1 c.replication);
+    crashes = max 0 c.crashes;
+    slow_nodes = min nodes (max 0 c.slow_nodes);
+    slow_factor = Float.max 0. c.slow_factor;
+  }
+
+let enabled c =
+  let c = normalize c in
+  c.nodes > 1 || c.crashes > 0 || c.slow_nodes > 0
+
+type node = {
+  id : int;
+  memnode : Memnode.t;
+  rx_link : Link.t;
+  tx_link : Link.t;
+  nic : (unit -> unit) Nic.t;
+  mutable alive : bool;
+  mutable repl_qp : (unit -> unit) Nic.qp option;
+}
+
+type t = {
+  sim : Sim.t;
+  cfg : config;
+  node_tab : node array;
+  pages : int;
+  page_size : int;
+  qp_depth : int;
+  gap : int; (* cycles between background re-replication steps *)
+  rng : Rng.t; (* drawn only inside scheduled crash/slowdown callbacks *)
+  trace : Sink.t;
+  repl_cq : (unit -> unit) Verbs.Cq.t;
+  override : (int, int list) Hashtbl.t; (* page -> repaired replica list *)
+  mutable nodes_failed : int;
+  mutable failovers : int;
+  mutable rereplicated : int;
+  mutable lost_writes : int;
+  mutable dead_reads : int;
+  mutable backlog : int;
+}
+
+(* --- placement ------------------------------------------------------------ *)
+
+(* splitmix64 finalizer: an explicit, seed-free page mixer (the
+   determinism lint bans [Hashtbl.hash], whose value may change across
+   compiler releases). *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let primary_of cfg ~page =
+  match cfg.placement with
+  | Striped -> page mod cfg.nodes
+  | Hashed -> Int64.to_int (mix64 (Int64.of_int page)) land max_int mod cfg.nodes
+
+let default_replicas cfg ~page =
+  let p = primary_of cfg ~page in
+  List.init cfg.replication (fun i -> (p + i) mod cfg.nodes)
+
+(* --- construction --------------------------------------------------------- *)
+
+(* Disjoint WR-id ranges per NIC keep WQE ids unique in a shared trace. *)
+let wr_id_stride = 0x2000_0000
+
+let create ?(trace = Sink.null) ?fault sim cfg ~pages ~page_size ~gbps
+    ~wire_overhead ~wqe_overhead_cycles ~base_latency_cycles ~qp_depth
+    ~throttle ~rereplicate_gap_cycles ~seed =
+  let cfg = normalize cfg in
+  let node_tab =
+    Array.init cfg.nodes (fun id ->
+        let memnode = Memnode.create ~capacity_bytes:(2 * pages * page_size) in
+        let rx_link = Link.create sim ~gbps ~wire_overhead () in
+        let tx_link = Link.create sim ~gbps ~wire_overhead () in
+        if throttle > 0. then Memnode.set_throttle memnode throttle;
+        if throttle > 0. || cfg.slow_nodes > 0 then
+          (* fail-slow path: a throttled node stretches every
+             fetch-direction serialization (deterministic, replay-safe) *)
+          Link.set_perturb rx_link
+            (Some (fun base -> Memnode.throttle_extra memnode ~cycles:base));
+        let nic =
+          Nic.create ~trace ?fault ~wr_id_base:(id * wr_id_stride) sim
+            ~rx_link ~tx_link ~wqe_overhead_cycles ~base_latency_cycles ()
+        in
+        { id; memnode; rx_link; tx_link; nic; alive = true; repl_qp = None })
+  in
+  (* each node registers the bytes of the pages it hosts *)
+  Array.iter
+    (fun nd ->
+      let hosted = ref 0 in
+      for page = 0 to pages - 1 do
+        if List.mem nd.id (default_replicas cfg ~page) then incr hosted
+      done;
+      if !hosted > 0 then
+        ignore (Memnode.register_exn nd.memnode ~bytes:(!hosted * page_size)))
+    node_tab;
+  let repl_cq = Verbs.Cq.create () in
+  Verbs.Cq.set_notify repl_cq (fun () ->
+      List.iter
+        (fun (c : (unit -> unit) Verbs.completion) -> c.user ())
+        (Verbs.Cq.poll repl_cq ~max:max_int));
+  {
+    sim;
+    cfg;
+    node_tab;
+    pages;
+    page_size;
+    qp_depth;
+    gap = rereplicate_gap_cycles;
+    rng = Rng.create (seed + 0x5eed);
+    trace;
+    repl_cq;
+    override = Hashtbl.create 64;
+    nodes_failed = 0;
+    failovers = 0;
+    rereplicated = 0;
+    lost_writes = 0;
+    dead_reads = 0;
+    backlog = 0;
+  }
+
+let config t = t.cfg
+let nodes t = t.node_tab
+let node_count t = Array.length t.node_tab
+let node_alive t id = t.node_tab.(id).alive
+
+(* --- routing -------------------------------------------------------------- *)
+
+let primary t ~page = primary_of t.cfg ~page
+
+let replicas t ~page =
+  match Hashtbl.find_opt t.override page with
+  | Some l -> l
+  | None -> default_replicas t.cfg ~page
+
+let route_read t ~page =
+  let reps = replicas t ~page in
+  let prim = match reps with p :: _ -> p | [] -> 0 in
+  let rec pick = function
+    | [] -> (prim, false) (* every replica dead: let the timeout surface it *)
+    | id :: rest ->
+      if t.node_tab.(id).alive then (id, id <> prim) else pick rest
+  in
+  pick reps
+
+let write_targets t ~page =
+  List.filter (fun id -> t.node_tab.(id).alive) (replicas t ~page)
+
+let total_rx_bytes t =
+  Array.fold_left
+    (fun acc nd -> acc + Link.bytes_carried nd.rx_link)
+    0 t.node_tab
+
+(* --- counters ------------------------------------------------------------- *)
+
+let note_failover t = t.failovers <- t.failovers + 1
+let note_dead_read t = t.dead_reads <- t.dead_reads + 1
+let note_lost_write t = t.lost_writes <- t.lost_writes + 1
+let nodes_failed t = t.nodes_failed
+let failovers t = t.failovers
+let rereplicated t = t.rereplicated
+let lost_writes t = t.lost_writes
+let dead_reads t = t.dead_reads
+let rereplication_backlog t = t.backlog
+
+(* --- failure handling ----------------------------------------------------- *)
+
+let ev ?(req = Event.none) ?(worker = Event.none) ?(page = Event.none) t kind =
+  Sink.emit t.trace ~ts:(Sim.now t.sim) ~kind ~req ~worker ~page
+
+let repl_qp t nd =
+  match nd.repl_qp with
+  | Some qp -> qp
+  | None ->
+    let qp = Nic.create_qp nd.nic ~depth:t.qp_depth in
+    nd.repl_qp <- Some qp;
+    qp
+
+(* The copy target for a page that lost a replica: scan alive nodes not
+   already holding the page, starting past its primary, and take the
+   first with registration room (a full node returns [Error] from the
+   typed register — skip it rather than crash). *)
+let pick_target t ~reps ~prim =
+  let n = Array.length t.node_tab in
+  let rec scan k =
+    if k >= n then None
+    else begin
+      let cand = t.node_tab.((prim + k) mod n) in
+      if
+        cand.alive
+        && (not (List.mem cand.id reps))
+        && Result.is_ok (Memnode.register cand.memnode ~bytes:t.page_size)
+      then Some cand
+      else scan (k + 1)
+    end
+  in
+  scan 1
+
+(* Restore one page's replication factor: READ it from a surviving
+   replica, WRITE it onto the chosen spare, then swap the dead node out
+   of the page's replica list. Both legs go through a real QP and the
+   shared links, so repair traffic competes with demand fetches for
+   bandwidth; each leg emits its Rdma_issue/Rdma_complete pair so the
+   trace checker's WQE accounting stays exact. *)
+let copy_page t ~victim page =
+  let done_ () = t.backlog <- t.backlog - 1 in
+  let reps = replicas t ~page in
+  if not (List.mem victim.id reps) then done_ ()
+  else begin
+    match List.find_opt (fun id -> t.node_tab.(id).alive) reps with
+    | None -> done_ () (* every copy died: the page is unrecoverable *)
+    | Some src_id -> (
+      let prim = match reps with p :: _ -> p | [] -> 0 in
+      match pick_target t ~reps ~prim with
+      | None -> done_ () (* no spare with room: stay degraded *)
+      | Some tgt ->
+        let src = t.node_tab.(src_id) in
+        let bytes = t.page_size in
+        let finish () =
+          ev t Event.Rdma_complete ~page;
+          Hashtbl.replace t.override page
+            (List.map (fun id -> if id = victim.id then tgt.id else id) reps);
+          t.rereplicated <- t.rereplicated + 1;
+          done_ ();
+          ev t Event.Rereplicated ~page
+        in
+        let rec write_leg () =
+          if
+            Nic.post (repl_qp t tgt) ~opcode:Verbs.Write ~bytes ~user:finish
+              ~cq:t.repl_cq
+          then ev t Event.Rdma_issue ~page
+          else Sim.schedule t.sim ~delay:t.gap write_leg
+        in
+        let read_done () =
+          ev t Event.Rdma_complete ~page;
+          Memnode.record_write tgt.memnode ~bytes;
+          write_leg ()
+        in
+        let rec read_leg () =
+          if
+            Nic.post (repl_qp t src) ~opcode:Verbs.Read ~bytes ~user:read_done
+              ~cq:t.repl_cq
+          then ev t Event.Rdma_issue ~page
+          else Sim.schedule t.sim ~delay:t.gap read_leg
+        in
+        Memnode.record_read src.memnode ~bytes;
+        read_leg ())
+  end
+
+let start_rereplication t ~victim =
+  let affected = ref [] in
+  for page = t.pages - 1 downto 0 do
+    if List.mem victim.id (replicas t ~page) then affected := page :: !affected
+  done;
+  match !affected with
+  | [] -> ()
+  | pages ->
+    t.backlog <- t.backlog + List.length pages;
+    let rec step = function
+      | [] -> ()
+      | page :: rest ->
+        copy_page t ~victim page;
+        (match rest with
+        | [] -> ()
+        | _ :: _ -> Sim.schedule t.sim ~delay:t.gap (fun () -> step rest))
+    in
+    Sim.schedule t.sim ~delay:t.gap (fun () -> step pages)
+
+let alive_list t =
+  Array.fold_left
+    (fun acc nd -> if nd.alive then nd :: acc else acc)
+    [] t.node_tab
+  |> List.rev
+
+let crash_one t =
+  match alive_list t with
+  | [] | [ _ ] -> () (* never kill the last node *)
+  | alive ->
+    let victim = List.nth alive (Rng.int t.rng (List.length alive)) in
+    victim.alive <- false;
+    Nic.fail victim.nic;
+    t.nodes_failed <- t.nodes_failed + 1;
+    ev t Event.Node_failed ~page:victim.id;
+    start_rereplication t ~victim
+
+let slow_some t =
+  let pool = ref (alive_list t) in
+  for _ = 1 to t.cfg.slow_nodes do
+    match !pool with
+    | [] -> ()
+    | l ->
+      let i = Rng.int t.rng (List.length l) in
+      let nd = List.nth l i in
+      pool := List.filteri (fun j _ -> j <> i) l;
+      Memnode.set_throttle nd.memnode t.cfg.slow_factor
+  done
+
+let start t =
+  if t.cfg.crashes > 0 then
+    for i = 0 to t.cfg.crashes - 1 do
+      Sim.schedule t.sim
+        ~delay:(Clock.of_us (t.cfg.crash_at_us *. float_of_int (i + 1)))
+        (fun () -> crash_one t)
+    done;
+  if t.cfg.slow_nodes > 0 then
+    Sim.schedule t.sim
+      ~delay:(Clock.of_us t.cfg.slow_at_us)
+      (fun () -> slow_some t)
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let register_metrics t reg ~labels =
+  let counter name help read = Registry.counter reg ~name ~help ~labels read in
+  let gauge name help read = Registry.gauge reg ~name ~help ~labels read in
+  counter "adios_cluster_nodes_failed_total"
+    "Memory nodes killed by the crash schedule" (fun () -> t.nodes_failed);
+  counter "adios_cluster_failovers_total"
+    "Fetches rerouted to a surviving replica" (fun () -> t.failovers);
+  counter "adios_cluster_rereplicated_total"
+    "Pages whose replication factor was restored" (fun () -> t.rereplicated);
+  counter "adios_cluster_lost_writes_total"
+    "Write-backs dropped: every replica dead" (fun () -> t.lost_writes);
+  counter "adios_cluster_dead_reads_total"
+    "Fetches posted with every replica dead" (fun () -> t.dead_reads);
+  gauge "adios_cluster_rereplication_backlog"
+    "Pages still awaiting background re-replication" (fun () ->
+      float_of_int t.backlog);
+  Array.iter
+    (fun nd ->
+      let labels = ("node", string_of_int nd.id) :: labels in
+      Registry.gauge reg ~name:"adios_cluster_node_alive"
+        ~help:"1 while the node serves traffic, 0 after its crash" ~labels
+        (fun () -> if nd.alive then 1. else 0.);
+      Registry.counter reg ~name:"adios_cluster_node_reads_total"
+        ~help:"READs served by this node" ~labels (fun () ->
+          Memnode.reads nd.memnode);
+      Registry.counter reg ~name:"adios_cluster_node_writes_total"
+        ~help:"WRITEs absorbed by this node" ~labels (fun () ->
+          Memnode.writes nd.memnode);
+      Registry.counter reg ~name:"adios_cluster_node_bytes_served_total"
+        ~help:"Payload bytes served by this node" ~labels (fun () ->
+          Memnode.bytes_served nd.memnode);
+      Nic.register_metrics nd.nic reg ~labels)
+    t.node_tab

@@ -1,0 +1,146 @@
+(** Multi-memory-node topology: placement, replicated writes, failover.
+
+    A cluster is [nodes] independent memory nodes, each with its own
+    {!Adios_rdma.Memnode.t}, its own pair of directed links and its own
+    NIC (so one node's congestion or death never serializes behind
+    another's). A deterministic placement directory maps every page to a
+    primary node and [replication - 1] successor replicas:
+
+    - fetches go to the first {e alive} node in the page's replica list
+      (the primary when healthy — a {e failover} when not);
+    - write-backs fan out to every alive replica, keeping all copies
+      coherent;
+    - a seeded crash schedule kills nodes mid-run ({!Adios_rdma.Nic.fail}
+      — in-flight and future completions are swallowed, the host
+      recovers via its timeout/retry protocol), after which a paced
+      background task re-replicates the dead node's pages onto spares,
+      competing with demand traffic for link bandwidth;
+    - a seeded slowdown schedule throttles nodes instead of killing
+      them (the fail-slow case).
+
+    Everything is deterministic: placement is pure arithmetic, victim
+    selection draws from a private seeded RNG only inside the scheduled
+    crash/slowdown callbacks, and a default config (1 node, R = 1, no
+    faults) schedules nothing and draws nothing — byte-identical to the
+    single-node system. *)
+
+module Memnode = Adios_rdma.Memnode
+module Link = Adios_rdma.Link
+module Nic = Adios_rdma.Nic
+
+type placement =
+  | Striped  (** page [p] lives on node [p mod nodes] *)
+  | Hashed  (** node = mix64(p) mod nodes — decorrelates strided access *)
+
+type config = {
+  nodes : int;  (** memory nodes (clamped to >= 1) *)
+  replication : int;  (** copies per page (clamped to [1, nodes]) *)
+  placement : placement;
+  crashes : int;  (** nodes to kill, one per [crash_at_us] period *)
+  crash_at_us : float;  (** first crash time; the i-th at [(i+1) * this] *)
+  slow_nodes : int;  (** nodes to throttle at [slow_at_us] *)
+  slow_at_us : float;
+  slow_factor : float;  (** extra service fraction for slowed nodes *)
+}
+
+val default : config
+(** 1 node, R = 1, no crashes, no slowdowns: the single-node system. *)
+
+val enabled : config -> bool
+(** Anything beyond the single-node default? *)
+
+val normalize : config -> config
+(** Clamp to the documented ranges ([nodes >= 1],
+    [1 <= replication <= nodes], ...). *)
+
+type node = {
+  id : int;
+  memnode : Memnode.t;
+  rx_link : Link.t;  (** fetch direction (node to compute) *)
+  tx_link : Link.t;  (** write-back direction *)
+  nic : (unit -> unit) Nic.t;
+  mutable alive : bool;
+  mutable repl_qp : (unit -> unit) Nic.qp option;
+      (** lazily created QP for background re-replication traffic *)
+}
+
+type t
+
+val create :
+  ?trace:Adios_trace.Sink.t ->
+  ?fault:Adios_fault.Injector.t ->
+  Adios_engine.Sim.t ->
+  config ->
+  pages:int ->
+  page_size:int ->
+  gbps:float ->
+  wire_overhead:float ->
+  wqe_overhead_cycles:int ->
+  base_latency_cycles:int ->
+  qp_depth:int ->
+  throttle:float ->
+  rereplicate_gap_cycles:int ->
+  seed:int ->
+  t
+(** Build the node array. Each node registers exactly the bytes of the
+    pages it hosts (primary or replica) plus headroom; [throttle] > 0
+    pre-throttles every node (the single-node fail-slow knob routed
+    through the cluster). Creation schedules no events, spawns no
+    processes and draws no RNG — {!start} arms the fault schedules. *)
+
+val start : t -> unit
+(** Arm the crash / slowdown schedules. A no-op (zero [Sim.schedule]
+    calls) when the config has no crashes and no slowdowns. *)
+
+val config : t -> config
+(** The normalized config this cluster was built with. *)
+
+val nodes : t -> node array
+val node_count : t -> int
+val node_alive : t -> int -> bool
+
+val primary : t -> page:int -> int
+(** The page's home node per the placement policy (ignores overrides
+    and liveness — this is the directory, not the route). *)
+
+val replicas : t -> page:int -> int list
+(** Current replica list, primary first — reflects re-replication
+    overrides. *)
+
+val route_read : t -> page:int -> int * bool
+(** Node to fetch the page from: the first alive node in its replica
+    list. The flag is [true] when that is not the primary (a failover).
+    When every replica is dead, returns the (dead) primary and [false]:
+    the post goes through, the completion is swallowed, and the host's
+    timeout/retry path surfaces the error — callers should count it via
+    {!note_dead_read}. *)
+
+val write_targets : t -> page:int -> int list
+(** Alive replicas a write-back must land on. Empty when every replica
+    is dead (callers should count via {!note_lost_write} and drop). *)
+
+val total_rx_bytes : t -> int
+(** Sum of fetch-direction link bytes across all nodes. *)
+
+(** {2 Counters}
+
+    [note_*] are called by the compute-node system at routing decisions
+    (the cluster sees posts, not intents); the rest accumulate
+    internally. *)
+
+val note_failover : t -> unit
+val note_dead_read : t -> unit
+val note_lost_write : t -> unit
+val nodes_failed : t -> int
+val failovers : t -> int
+val rereplicated : t -> int
+val lost_writes : t -> int
+val dead_reads : t -> int
+
+val rereplication_backlog : t -> int
+(** Pages still awaiting background re-replication. *)
+
+val register_metrics :
+  t -> Adios_obs.Registry.t -> labels:(string * string) list -> unit
+(** Cluster-level counters plus per-node series (reads / writes / bytes
+    served / liveness / NIC counters) under an added ["node"] label. *)

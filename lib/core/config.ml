@@ -44,6 +44,7 @@ type t = {
   fault : Adios_fault.Injector.config;
   fetch_timeout : int;
   fetch_retries : int;
+  cluster : Adios_cluster.Cluster.config;
 }
 
 let default system =
@@ -66,4 +67,5 @@ let default system =
     fault = Adios_fault.Injector.none;
     fetch_timeout = 0;
     fetch_retries = 3;
+    cluster = Adios_cluster.Cluster.default;
   }

@@ -73,6 +73,9 @@ type t = {
   fetch_retries : int;
       (** reposts allowed per fetch before the request completes with an
           error reply *)
+  cluster : Adios_cluster.Cluster.config;
+      (** memory-node topology ({!Adios_cluster.Cluster.default} = one
+          node, R = 1 — the byte-identical single-node system) *)
 }
 
 val default : system -> t

@@ -75,6 +75,28 @@ let column_names = List.map fst fields
 let csv_header = String.concat "," column_names
 let csv_row r = String.concat "," (List.map (fun (_, f) -> f r) fields)
 
+(* Cluster-topology columns live in their own list, appended only by
+   datasets that opt in ([Dataset.of_run ~cluster:true]): the frozen
+   43-column layout above — and every checked-in golden built on it —
+   stays byte-identical. *)
+let cluster_fields : (string * (Runner.result -> string)) list =
+  [
+    ("nodes", fun r -> string_of_int r.Runner.nodes);
+    ("replication", fun r -> string_of_int r.Runner.replication);
+    ("crashes", fun r -> string_of_int r.Runner.crashes);
+    ("nodes_failed", fun r -> string_of_int r.Runner.nodes_failed);
+    ("failovers", fun r -> string_of_int r.Runner.failovers);
+    ("rereplicated", fun r -> string_of_int r.Runner.rereplicated);
+    ("lost_writes", fun r -> string_of_int r.Runner.lost_writes);
+    ("dead_reads", fun r -> string_of_int r.Runner.dead_reads);
+    ("sim_events", fun r -> string_of_int r.Runner.sim_events);
+  ]
+
+let cluster_column_names = List.map fst cluster_fields
+
+let cluster_csv_row r =
+  String.concat "," (List.map (fun (_, f) -> f r) cluster_fields)
+
 let to_csv sweeps =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf csv_header;

@@ -16,6 +16,15 @@ val csv_header : string
 val csv_row : Runner.result -> string
 (** One result as a CSV line (latencies in microseconds). *)
 
+val cluster_fields : (string * (Runner.result -> string)) list
+(** Cluster-topology columns (nodes / replication / crashes / failover
+    counters / simulator event count), kept separate from {!fields} so
+    the frozen default column layout — and every golden CSV built on it
+    — stays byte-identical. Cluster-aware datasets append them. *)
+
+val cluster_column_names : string list
+val cluster_csv_row : Runner.result -> string
+
 val to_csv : (string * Runner.result list) list -> string
 (** A whole sweep — the [(system, results)] pairs the bench harness
     builds — as a CSV document with header. *)

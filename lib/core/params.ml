@@ -30,6 +30,8 @@ let qp_retry_cycles = 200
 let link_gbps = 100.
 let wire_overhead = 0.27
 
+let rereplicate_gap_cycles = c 1.0
+
 let eth_latency_cycles = c 0.8
 let tx_cqe_latency_cycles = c 2.8
 
@@ -46,6 +48,7 @@ let pp_table ppf () =
      hermit: fault_extra=%.2fus req_extra=%.2fus jitter_p=%.4f jitter=%.0f-%.0fus@,\
      preempt: interval=%.1fus probe=%d fire=%d@,\
      rdma: base_latency=%.2fus wqe=%d qp_depth=%d link=%.0fGbps wire_ovh=%.2f@,\
+     cluster: rereplicate_gap=%.1fus@,\
      eth: latency=%.2fus tx_cqe=%.2fus@,\
      admission: queue=%d buffers=%d@]"
     workers dispatch_cycles recycle_cycles poll_cycles
@@ -60,6 +63,7 @@ let pp_table ppf () =
     preempt_probe_cycles preempt_fire_cycles
     (us rdma_base_latency_cycles)
     wqe_overhead_cycles qp_depth link_gbps wire_overhead
+    (us rereplicate_gap_cycles)
     (us eth_latency_cycles)
     (us tx_cqe_latency_cycles)
     central_queue_capacity buffer_count

@@ -96,6 +96,13 @@ val link_gbps : float
 val wire_overhead : float
 (** Extra wire bytes per payload byte (RoCE/Ethernet headers, PCIe). *)
 
+(* Cluster repair *)
+
+val rereplicate_gap_cycles : int
+(** Pacing gap between background re-replication steps after a memory
+    node dies: one page copy is launched per gap, so repair traffic
+    trickles onto the links instead of flooding demand fetches. *)
+
 (* Ethernet path to the load generator *)
 
 val eth_latency_cycles : int

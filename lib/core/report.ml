@@ -194,4 +194,11 @@ let result_line (r : Runner.result) =
       "  faults: injected=%d timeouts=%d retries=%d (max/fetch %d) \
        errored=%d qp_drops=%d\n"
       r.Runner.faults_injected r.Runner.fetch_timeouts r.Runner.fetch_retries
-      r.Runner.retries_hwm r.Runner.errored r.Runner.drops_qp
+      r.Runner.retries_hwm r.Runner.errored r.Runner.drops_qp;
+  if r.Runner.nodes > 1 || r.Runner.nodes_failed > 0 then
+    pf
+      "  cluster: nodes=%d R=%d failed=%d failovers=%d rereplicated=%d \
+       lost_writes=%d dead_reads=%d\n"
+      r.Runner.nodes r.Runner.replication r.Runner.nodes_failed
+      r.Runner.failovers r.Runner.rereplicated r.Runner.lost_writes
+      r.Runner.dead_reads

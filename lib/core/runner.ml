@@ -12,6 +12,7 @@ module Timeline = Adios_trace.Timeline
 module Accountant = Adios_obs.Accountant
 module Registry = Adios_obs.Registry
 module Sampler = Adios_obs.Sampler
+module Cluster = Adios_cluster.Cluster
 
 type result = {
   system : string;
@@ -46,6 +47,15 @@ type result = {
   retries_hwm : int;
   faults_injected : int;
   drops_qp : int;
+  nodes : int;
+  replication : int;
+  crashes : int;
+  nodes_failed : int;
+  failovers : int;
+  rereplicated : int;
+  lost_writes : int;
+  dead_reads : int;
+  sim_events : int;
   cpu : Accountant.snapshot;
   cpu_app_share : float;
   cpu_pf_sw_share : float;
@@ -162,7 +172,7 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
           (int_of_float (Rng.exponential loadgen_rng ~mean:mean_gap));
         if i = warmup + 1 then begin
           window_start := Sim.now sim;
-          fetch_snapshot := Link.bytes_carried (System.rdma_rx_link system);
+          fetch_snapshot := Cluster.total_rx_bytes (System.cluster system);
           drops_at_start := drops ()
         end;
         let spec = app.App.gen loadgen_rng in
@@ -181,14 +191,18 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
   let offered_window =
     float_of_int (requests - warmup) /. window_sec /. 1000.
   in
+  let cluster = System.cluster system in
   let fetched_bytes =
-    Link.bytes_carried (System.rdma_rx_link system) - !fetch_snapshot
+    Cluster.total_rx_bytes cluster - !fetch_snapshot
   in
+  (* utilization over the aggregate fetch capacity: one link per memory
+     node (node_count = 1 divides by exactly 1.0, bit-for-bit) *)
   let rdma_util =
     float_of_int fetched_bytes
     *. (1. +. Params.wire_overhead)
     *. 8.
-    /. (Params.link_gbps *. 1e9 *. window_sec)
+    /. (Params.link_gbps *. 1e9 *. window_sec
+        *. float_of_int (Cluster.node_count cluster))
   in
   let kind_summaries =
     Array.to_list
@@ -239,6 +253,15 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
     retries_hwm = counters.System.retries_hwm;
     faults_injected = System.faults_injected system;
     drops_qp = counters.System.drops_qp;
+    nodes = Cluster.node_count cluster;
+    replication = (Cluster.config cluster).Cluster.replication;
+    crashes = (Cluster.config cluster).Cluster.crashes;
+    nodes_failed = Cluster.nodes_failed cluster;
+    failovers = Cluster.failovers cluster;
+    rereplicated = Cluster.rereplicated cluster;
+    lost_writes = Cluster.lost_writes cluster;
+    dead_reads = Cluster.dead_reads cluster;
+    sim_events = Sim.events_processed sim;
     cpu;
     cpu_app_share = share Accountant.App_compute;
     cpu_pf_sw_share = share Accountant.Pf_software;

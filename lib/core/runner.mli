@@ -42,6 +42,15 @@ type result = {
   retries_hwm : int;  (** most reposts any single fetch needed *)
   faults_injected : int;  (** completions dropped/delayed by the injector *)
   drops_qp : int;  (** prefetch posts refused by a full QP *)
+  nodes : int;  (** memory nodes in the topology *)
+  replication : int;  (** configured copies per page *)
+  crashes : int;  (** scheduled node crashes *)
+  nodes_failed : int;  (** nodes actually killed during the run *)
+  failovers : int;  (** fetches rerouted to a surviving replica *)
+  rereplicated : int;  (** pages whose replication factor was restored *)
+  lost_writes : int;  (** write-backs dropped: every replica dead *)
+  dead_reads : int;  (** fetches posted with every replica dead *)
+  sim_events : int;  (** simulator events processed (bench denominator) *)
   cpu : Adios_obs.Accountant.snapshot;
       (** per-CPU time-in-state accounting over the whole run (workers
           first, dispatcher last); plain data, safe to marshal across

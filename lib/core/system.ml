@@ -19,6 +19,7 @@ module Trace_event = Adios_trace.Event
 module Injector = Adios_fault.Injector
 module Acct = Adios_obs.Accountant
 module Registry = Adios_obs.Registry
+module Cluster = Adios_cluster.Cluster
 
 (* Raised inside a unithread when a page fetch exhausted its retries;
    caught at the task boundary so the request completes with an error
@@ -57,7 +58,7 @@ type entry = {
 
 and worker = {
   wid : int;
-  qp : (unit -> unit) Nic.qp;
+  qps : (unit -> unit) Nic.qp array;  (** one QP per memory node *)
   fetch_cq : (unit -> unit) Verbs.Cq.t;
   gate : Proc.Gate.t;
   ready : entry Queue.t;
@@ -72,9 +73,10 @@ type t = {
   app : App.t;
   arena : Arena.t;
   pager : Pager.t;
-  memnode : Memnode.t;
-  nic : (unit -> unit) Nic.t;
-  reclaim_qp : (unit -> unit) Nic.qp;
+  cluster : Cluster.t;
+  memnode : Memnode.t;  (** node 0 (the whole cluster under defaults) *)
+  nic : (unit -> unit) Nic.t;  (** node 0's NIC *)
+  reclaim_qps : (unit -> unit) Nic.qp array;  (** one per memory node *)
   reclaim_cq : (unit -> unit) Verbs.Cq.t;
   reply_channel : Request.t Raw_eth.t;
   reply_link : Link.t;
@@ -128,8 +130,15 @@ let rdma_rx_link t = t.rdma_rx_link
 let rdma_tx_link t = t.rdma_tx_link
 let reply_link t = t.reply_link
 let memnode t = t.memnode
+let cluster t = t.cluster
 let arena t = t.arena
-let worker_outstanding t = Array.map (fun w -> Nic.outstanding w.qp) t.workers
+
+(* Congestion signal of a worker: fetches outstanding across all its
+   QPs (one per memory node; a single sum, exactly the old per-QP count
+   under the default single-node topology). *)
+let qp_load w = Array.fold_left (fun acc qp -> acc + Nic.outstanding qp) 0 w.qps
+let worker_outstanding t = Array.map qp_load t.workers
+let node_memnode t node = (Cluster.nodes t.cluster).(node).Cluster.memnode
 let prefetch_stats t = t.prefetch_stats
 let pending_depth t = Queue.length t.pending
 
@@ -216,20 +225,23 @@ let maybe_prefetch t e (w : worker) page =
       while !issued < degree && !k <= degree do
         let q = page + (!k * stride) in
         incr k;
+        (* the pager's placement directory names the node to pull from *)
+        let node = if q >= 0 && q < pages then Pager.locate t.pager q else 0 in
         if
           q >= 0 && q < pages
           && Pager.state t.pager q = Pager.Remote
           && Pager.free_frames t.pager > 1
-          && Nic.outstanding w.qp < t.cfg.Config.qp_depth - 2
+          && Nic.outstanding w.qps.(node) < t.cfg.Config.qp_depth - 2
         then begin
           Pager.start_fetch t.pager q;
-          Memnode.record_read t.memnode ~bytes:page_bytes;
+          Memnode.record_read (node_memnode t node) ~bytes:page_bytes;
           (* [live] dies when the fetch times out: a completion the
              fabric delivered late (or a duplicate) must not install the
              page a second time *)
           let live = ref true in
           let ok =
-            Nic.post w.qp ~opcode:Verbs.Read ~bytes:page_bytes ~cq:w.fetch_cq
+            Nic.post w.qps.(node) ~opcode:Verbs.Read ~bytes:page_bytes
+              ~cq:w.fetch_cq
               ~user:(fun () ->
                 if !live then begin
                   live := false;
@@ -326,14 +338,19 @@ and fault t e page =
       wait_frame t ~req:rid ~worker:wid ~page;
       prepare ()
     end
-    else if Nic.outstanding w.qp >= t.cfg.Config.qp_depth then begin
-      t.counters.qp_stalls <- t.counters.qp_stalls + 1;
-      ev t Trace_event.Stall_qp ~req:rid ~worker:wid ~page;
-      acct_cpu t ~cpu:wid Acct.Pf_software;
-      Proc.wait Params.qp_retry_cycles;
-      prepare ()
+    else begin
+      (* route first (liveness may change while we slept), then check
+         the QP serving that node *)
+      let node, _ = Cluster.route_read t.cluster ~page in
+      if Nic.outstanding w.qps.(node) >= t.cfg.Config.qp_depth then begin
+        t.counters.qp_stalls <- t.counters.qp_stalls + 1;
+        ev t Trace_event.Stall_qp ~req:rid ~worker:wid ~page;
+        acct_cpu t ~cpu:wid Acct.Pf_software;
+        Proc.wait Params.qp_retry_cycles;
+        prepare ()
+      end
+      else `Go
     end
-    else `Go
   in
   match prepare () with
   | `Changed ->
@@ -345,7 +362,8 @@ and fault t e page =
   | `Go ->
     Pager.start_fetch t.pager page;
     let page_bytes = t.app.App.page_size in
-    Memnode.record_read t.memnode ~bytes:page_bytes;
+    Memnode.record_read (node_memnode t (Pager.locate t.pager page))
+      ~bytes:page_bytes;
     maybe_prefetch t e w page;
     (* Recovery protocol. The page stays Inflight across reposts — only
        the final give-up aborts it back to Remote. Each attempt carries
@@ -368,10 +386,14 @@ and fault t e page =
       settle `Ok
     in
     let rec post_attempt ~blocking n =
-      if n > 0 then Memnode.record_read t.memnode ~bytes:page_bytes;
+      (* re-route every attempt: a retry after a node death must land on
+         a surviving replica, not repost into the dead NIC forever *)
+      let node, failover = Cluster.route_read t.cluster ~page in
+      if n > 0 then Memnode.record_read (node_memnode t node) ~bytes:page_bytes;
       let live = ref true in
       let ok =
-        Nic.post w.qp ~opcode:Verbs.Read ~bytes:page_bytes ~cq:w.fetch_cq
+        Nic.post w.qps.(node) ~opcode:Verbs.Read ~bytes:page_bytes
+          ~cq:w.fetch_cq
           ~user:(fun () ->
             if !live then begin
               live := false;
@@ -394,6 +416,14 @@ and fault t e page =
       end
       else begin
         ev t Trace_event.Rdma_issue ~req:rid ~worker:wid ~page;
+        if failover then begin
+          Cluster.note_failover t.cluster;
+          ev t Trace_event.Failover ~req:rid ~worker:wid ~page
+        end;
+        if not (Cluster.node_alive t.cluster node) then
+          (* every replica dead: the post lands in a dead NIC and the
+             timeout ladder will surface a Req_error *)
+          Cluster.note_dead_read t.cluster;
         if timeout > 0 then
           (* exponential backoff: the deadline doubles per repost (capped
              at 64x) so a throttled fabric is not flooded *)
@@ -705,9 +735,7 @@ let dispatch_order t =
   in
   match t.cfg.Config.dispatch with
   | Config.Pf_aware ->
-    List.stable_sort
-      (fun a b -> compare (Nic.outstanding a.qp) (Nic.outstanding b.qp))
-      idle
+    List.stable_sort (fun a b -> compare (qp_load a) (qp_load b)) idle
   | Config.Round_robin ->
     let n = Array.length t.workers in
     List.stable_sort
@@ -843,25 +871,36 @@ let evict_page t ~page ~dirty =
     t.prefetch_stats.Prefetcher.wasted <- t.prefetch_stats.Prefetcher.wasted + 1
   end;
   if dirty then begin
-    (* write the page back to the memory node before dropping it *)
+    (* write the page back to every alive replica before dropping it *)
     let bytes = t.app.App.page_size in
     let actor = Trace_event.reclaimer_actor in
-    Memnode.record_write t.memnode ~bytes;
-    let rec try_post () =
-      let ok =
-        Nic.post t.reclaim_qp ~opcode:Verbs.Write ~bytes ~cq:t.reclaim_cq
-          ~user:(fun () ->
-            ev t Trace_event.Rdma_complete ~req:actor ~worker:actor ~page)
-      in
-      if not ok then begin
-        t.counters.writeback_stalls <- t.counters.writeback_stalls + 1;
-        ev t Trace_event.Stall_qp ~req:actor ~worker:actor ~page;
-        Proc.wait Params.qp_retry_cycles;
-        try_post ()
-      end
-      else ev t Trace_event.Rdma_issue ~req:actor ~worker:actor ~page
-    in
-    try_post ()
+    match Cluster.write_targets t.cluster ~page with
+    | [] ->
+      (* every replica is dead; the copy is gone until re-replication
+         (or forever under R = 1) — count it, don't wedge the reclaimer *)
+      Cluster.note_lost_write t.cluster
+    | targets ->
+      List.iter
+        (fun node ->
+          Memnode.record_write (node_memnode t node) ~bytes;
+          let rec try_post () =
+            let ok =
+              Nic.post t.reclaim_qps.(node) ~opcode:Verbs.Write ~bytes
+                ~cq:t.reclaim_cq
+                ~user:(fun () ->
+                  ev t Trace_event.Rdma_complete ~req:actor ~worker:actor
+                    ~page)
+            in
+            if not ok then begin
+              t.counters.writeback_stalls <- t.counters.writeback_stalls + 1;
+              ev t Trace_event.Stall_qp ~req:actor ~worker:actor ~page;
+              Proc.wait Params.qp_retry_cycles;
+              try_post ()
+            end
+            else ev t Trace_event.Rdma_issue ~req:actor ~worker:actor ~page
+          in
+          try_post ())
+        targets
   end
 
 let create ?(trace = Trace_sink.null) sim cfg app ~on_reply =
@@ -873,30 +912,35 @@ let create ?(trace = Trace_sink.null) sim cfg app ~on_reply =
   let capacity = min capacity app.App.pages in
   let pager = Pager.create ~pages:app.App.pages ~capacity in
   Pager.attach_trace pager trace ~now:(fun () -> Sim.now sim);
-  let memnode =
-    Memnode.create ~capacity_bytes:(2 * app.App.pages * app.App.page_size)
-  in
-  ignore (Memnode.register memnode ~bytes:(app.App.pages * app.App.page_size));
-  let rdma_rx_link = Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead () in
-  let rdma_tx_link = Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead () in
-  let reply_link = Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead () in
   let fault =
     if Injector.enabled cfg.Config.fault then
       Some (Injector.create cfg.Config.fault)
     else None
   in
-  if cfg.Config.fault.Injector.throttle > 0. then begin
-    (* a throttled memory node stretches every fetch-direction
-       serialization; deterministic, so replay is unaffected *)
-    Memnode.set_throttle memnode cfg.Config.fault.Injector.throttle;
-    Link.set_perturb rdma_rx_link
-      (Some (fun base -> Memnode.throttle_extra memnode ~cycles:base))
-  end;
-  let nic =
-    Nic.create ~trace ?fault sim ~rx_link:rdma_rx_link ~tx_link:rdma_tx_link
+  (* The cluster owns every memory node — links, NICs, memnodes,
+     placement, fault schedules. Node 0 is aliased below so the
+     single-node default stays byte-identical (same objects, same
+     creation order of schedulable state, zero extra events). *)
+  let cluster =
+    Cluster.create ~trace ?fault sim cfg.Config.cluster ~pages:app.App.pages
+      ~page_size:app.App.page_size ~gbps:Params.link_gbps
+      ~wire_overhead:Params.wire_overhead
       ~wqe_overhead_cycles:Params.wqe_overhead_cycles
-      ~base_latency_cycles:Params.rdma_base_latency_cycles ()
+      ~base_latency_cycles:Params.rdma_base_latency_cycles
+      ~qp_depth:cfg.Config.qp_depth
+      ~throttle:cfg.Config.fault.Injector.throttle
+      ~rereplicate_gap_cycles:Params.rereplicate_gap_cycles
+      ~seed:cfg.Config.seed
   in
+  (* the placement directory the pager consults on fetch routing *)
+  Pager.attach_locator pager (fun page ->
+      fst (Cluster.route_read cluster ~page));
+  let node0 = (Cluster.nodes cluster).(0) in
+  let memnode = node0.Cluster.memnode in
+  let nic = node0.Cluster.nic in
+  let rdma_rx_link = node0.Cluster.rx_link in
+  let rdma_tx_link = node0.Cluster.tx_link in
+  let reply_link = Link.create sim ~gbps:Params.link_gbps ~wire_overhead:Params.wire_overhead () in
   let reply_channel =
     Raw_eth.create sim ~link:reply_link
       ~latency_cycles:Params.eth_latency_cycles
@@ -905,14 +949,22 @@ let create ?(trace = Trace_sink.null) sim cfg app ~on_reply =
         on_reply req)
   in
   let rng = Rng.create cfg.Config.seed in
+  let cluster_nodes = Cluster.nodes cluster in
+  (* QP layout per NIC: worker QPs in wid order, then the reclaim QP —
+     node 0 keeps exactly the old single-NIC layout, so the NIC's
+     round-robin arbitration replays byte-identically *)
   let workers =
     Array.init cfg.Config.workers (fun wid ->
-        let qp = Nic.create_qp nic ~depth:cfg.Config.qp_depth in
+        let qps =
+          Array.map
+            (fun nd -> Nic.create_qp nd.Cluster.nic ~depth:cfg.Config.qp_depth)
+            cluster_nodes
+        in
         let fetch_cq = Verbs.Cq.create () in
         attach_drain fetch_cq;
         {
           wid;
-          qp;
+          qps;
           fetch_cq;
           gate = Proc.Gate.create sim;
           ready = Queue.create ();
@@ -921,7 +973,11 @@ let create ?(trace = Trace_sink.null) sim cfg app ~on_reply =
           idle = false;
         })
   in
-  let reclaim_qp = Nic.create_qp nic ~depth:cfg.Config.qp_depth in
+  let reclaim_qps =
+    Array.map
+      (fun nd -> Nic.create_qp nd.Cluster.nic ~depth:cfg.Config.qp_depth)
+      cluster_nodes
+  in
   let reclaim_cq = Verbs.Cq.create () in
   attach_drain reclaim_cq;
   let t =
@@ -931,9 +987,10 @@ let create ?(trace = Trace_sink.null) sim cfg app ~on_reply =
       app;
       arena;
       pager;
+      cluster;
       memnode;
       nic;
-      reclaim_qp;
+      reclaim_qps;
       reclaim_cq;
       reply_channel;
       reply_link;
@@ -983,6 +1040,9 @@ let create ?(trace = Trace_sink.null) sim cfg app ~on_reply =
   t.reclaimer <- Some reclaimer;
   Proc.spawn sim (fun () -> dispatcher_loop t);
   Array.iter (fun w -> Proc.spawn sim (fun () -> worker_loop t w)) workers;
+  (* arm the node crash/slowdown schedules last: a default cluster
+     schedules nothing here, preserving byte-identical replay *)
+  Cluster.start cluster;
   t
 
 (* --- metrics -------------------------------------------------------------- *)
@@ -1038,4 +1098,8 @@ let register_metrics t reg ~labels =
   (match t.reclaimer with
   | Some r -> Reclaimer.register_metrics r reg ~labels
   | None -> ());
-  Acct.register_metrics t.acct reg ~labels
+  Acct.register_metrics t.acct reg ~labels;
+  (* cluster series only when the topology is non-trivial, so the
+     single-node metrics export stays byte-identical *)
+  if Cluster.enabled t.cfg.Config.cluster then
+    Cluster.register_metrics t.cluster reg ~labels

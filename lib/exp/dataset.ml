@@ -12,16 +12,22 @@ type t = { header : string list; rows : string list list }
    which drifts with the arrival draw) and the per-point seed. *)
 let point_columns = [ "load"; "seed" ]
 let columns = point_columns @ Export.column_names
+let cluster_columns = columns @ Export.cluster_column_names
 
-let of_run run =
+let of_run ?(cluster = false) run =
   {
-    header = columns;
+    header = (if cluster then cluster_columns else columns);
     rows =
       List.map
         (fun ((p : Spec.point), r) ->
-          Printf.sprintf "%.1f" p.Spec.load
-          :: string_of_int p.Spec.point_seed
-          :: String.split_on_char ',' (Export.csv_row r))
+          let cells =
+            Printf.sprintf "%.1f" p.Spec.load
+            :: string_of_int p.Spec.point_seed
+            :: String.split_on_char ',' (Export.csv_row r)
+          in
+          if cluster then
+            cells @ String.split_on_char ',' (Export.cluster_csv_row r)
+          else cells)
         run;
   }
 

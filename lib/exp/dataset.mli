@@ -13,8 +13,15 @@ val point_columns : string list
 val columns : string list
 (** [point_columns @ Adios_core.Export.column_names]. *)
 
-val of_run : (Spec.point * Adios_core.Runner.result) list -> t
-(** Dataset of a {!Sweep.run} result, in run order. *)
+val cluster_columns : string list
+(** [columns] plus {!Adios_core.Export.cluster_column_names}. *)
+
+val of_run :
+  ?cluster:bool -> (Spec.point * Adios_core.Runner.result) list -> t
+(** Dataset of a {!Sweep.run} result, in run order. [cluster] (default
+    [false], which keeps existing golden headers byte-identical)
+    appends the cluster-topology columns — pass
+    [~cluster:(Spec.clustered spec)]. *)
 
 val to_csv : t -> string
 val of_csv : string -> (t, string) result

@@ -210,6 +210,126 @@ let check_busywait_elimination ?(adios_max = 0.02) ?(spin_min = 0.3) ds =
         (Dataset.systems ds))
     (Dataset.group_by ds ~name:"app")
 
+(* --- cluster topology ----------------------------------------------------- *)
+
+(* Rows of a clustered sweep carry the topology columns; these oracles
+   gate the failure-handling claims of the multi-node model. Pairing is
+   by "twin": the row with the same (system, app, load, nodes) — and,
+   where stated, replication — but a quieter topology. *)
+
+let cluster_where ds row =
+  Printf.sprintf "nodes=%s R=%s crashes=%s @ %s krps"
+    (Dataset.get ds row "nodes")
+    (Dataset.get ds row "replication")
+    (Dataset.get ds row "crashes")
+    (Dataset.get ds row "load")
+
+let same_cells ds a b names =
+  List.for_all
+    (fun c -> String.equal (Dataset.get ds a c) (Dataset.get ds b c))
+    names
+
+(* A crashing topology must actually crash, and the outcome must split
+   on replication: R >= 2 rides through on failover reads with zero
+   errored requests and a P99.9 within [tail_factor] of its no-crash
+   twin (in-flight WQEs swallowed by the dying node burn one timeout
+   ladder before re-routing, so the tail moves — boundedly); R = 1 has
+   nowhere to fail over, so the dead primary's pages must surface
+   errors instead of being silently served. *)
+let check_failover ?(tail_factor = 10.) ds =
+  let twin row =
+    List.find_opt
+      (fun cand ->
+        Dataset.geti ds cand "crashes" = 0
+        && same_cells ds cand row
+             [ "system"; "app"; "load"; "nodes"; "replication" ])
+      ds.Dataset.rows
+  in
+  List.concat_map
+    (fun row ->
+      if Dataset.geti ds row "crashes" = 0 then []
+      else
+        let where = cluster_where ds row in
+        let fired =
+          if Dataset.geti ds row "nodes_failed" >= 1 then []
+          else
+            [ Printf.sprintf
+                "%s: scheduled crash never fired (nodes_failed = 0)" where ]
+        in
+        let outcome =
+          if Dataset.geti ds row "replication" >= 2 then
+            let errored =
+              let n = Dataset.geti ds row "errored" in
+              if n = 0 then []
+              else
+                [ Printf.sprintf
+                    "%s: %d errored requests despite R >= 2 — failover \
+                     reads regressed"
+                    where n ]
+            in
+            let failed_over =
+              if Dataset.geti ds row "failovers" >= 1 then []
+              else
+                [ Printf.sprintf
+                    "%s: node died yet no read failed over to a replica"
+                    where ]
+            in
+            let tail =
+              match twin row with
+              | None -> []
+              | Some t ->
+                let p = Dataset.getf ds row "p999_us" in
+                let base = Float.max 1e-9 (Dataset.getf ds t "p999_us") in
+                if p <= tail_factor *. base then []
+                else
+                  [ Printf.sprintf
+                      "%s: P99.9 %.2f us is over %.0fx the no-crash twin's \
+                       %.2f us — failover degradation unbounded"
+                      where p tail_factor base ]
+            in
+            errored @ failed_over @ tail
+          else if Dataset.geti ds row "errored" > 0 then []
+          else
+            [ Printf.sprintf
+                "%s: R = 1 crash produced zero errored requests — the dead \
+                 primary's pages were silently served"
+                where ]
+        in
+        fired @ outcome)
+    ds.Dataset.rows
+
+(* Replicated write-backs fan out over the fabric but must not poison
+   the read tail: on a healthy topology, the R = 2 P99.9 stays within
+   [factor] of the R = 1 twin at the same (nodes, load). *)
+let check_replication_tail ?(factor = 3.) ds =
+  List.concat_map
+    (fun row ->
+      if
+        Dataset.geti ds row "crashes" <> 0
+        || Dataset.geti ds row "replication" < 2
+      then []
+      else
+        let r1 =
+          List.find_opt
+            (fun cand ->
+              Dataset.geti ds cand "crashes" = 0
+              && Dataset.geti ds cand "replication" = 1
+              && same_cells ds cand row [ "system"; "app"; "load"; "nodes" ])
+            ds.Dataset.rows
+        in
+        match r1 with
+        | None -> []
+        | Some t ->
+          let p = Dataset.getf ds row "p999_us" in
+          let base = Float.max 1e-9 (Dataset.getf ds t "p999_us") in
+          if p <= factor *. base then []
+          else
+            [ Printf.sprintf
+                "%s: P99.9 %.2f us is over %.0fx the R = 1 twin's %.2f us — \
+                 replication overhead poisoned the read tail"
+                (cluster_where ds row) p factor base ])
+    ds.Dataset.rows
+
 (* --- golden comparison --------------------------------------------------- *)
 
 (* Absolute tolerance bands per column. The simulator is deterministic,
@@ -220,7 +340,9 @@ let check_busywait_elimination ?(adios_max = 0.02) ?(spin_min = 0.3) ds =
 type tolerance = Exact | Band of { abs : float; rel : float }
 
 let default_tolerance = function
-  | "system" | "app" | "load" | "seed" | "requests" -> Exact
+  | "system" | "app" | "load" | "seed" | "requests"
+  | "nodes" | "replication" | "crashes" ->
+    Exact
   | "p50_us" | "p90_us" | "p99_us" | "p999_us" | "mean_us" ->
     Band { abs = 2.0; rel = 0.25 }
   | "offered_krps" | "achieved_krps" -> Band { abs = 10.; rel = 0.05 }
@@ -291,3 +413,13 @@ let check_all ?k ds =
   @ check_conservation ds
   @ check_cpu_conservation ds
   @ check_busywait_elimination ds
+
+(* The bundle for a clustered sweep (one system, one sub-knee load, a
+   topology grid): the knee/ranking/busy-wait shapes need full load
+   curves and a multi-system comparison, so here the gates are the
+   conservation identities plus the failure-handling claims. *)
+let check_cluster ?tail_factor ?factor ds =
+  check_conservation ds
+  @ check_cpu_conservation ds
+  @ check_failover ?tail_factor ds
+  @ check_replication_tail ?factor ds

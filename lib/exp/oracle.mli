@@ -49,6 +49,18 @@ val check_busywait_elimination :
     baseline's peak busy-wait share reaches at least [spin_min]
     (default 0.3) somewhere in its curve. *)
 
+val check_failover : ?tail_factor:float -> Dataset.t -> violation list
+(** Cluster crash rows (requires the cluster columns): the scheduled
+    crash must fire; R >= 2 rows must ride through with zero errored
+    requests, at least one failover read, and a P99.9 within
+    [tail_factor] (default 10) of the no-crash twin; R = 1 rows must
+    surface errors for the dead primary's pages. *)
+
+val check_replication_tail : ?factor:float -> Dataset.t -> violation list
+(** On healthy (no-crash) rows, the R = 2 P99.9 must stay within
+    [factor] (default 3) of the R = 1 twin at the same (nodes, load) —
+    replicated write-backs must not poison the read tail. *)
+
 type tolerance = Exact | Band of { abs : float; rel : float }
 
 val default_tolerance : string -> tolerance
@@ -69,3 +81,10 @@ val check_all : ?k:float -> Dataset.t -> violation list
 (** The standard bundle: knees detected and ranked per app, throughput
     monotone, request conservation, worker-cycle-share conservation,
     busy-wait elimination direction. *)
+
+val check_cluster :
+  ?tail_factor:float -> ?factor:float -> Dataset.t -> violation list
+(** The bundle for a clustered sweep: conservation identities plus
+    {!check_failover} and {!check_replication_tail}. (Knee and ranking
+    shapes need multi-system load curves, which a topology-grid sweep
+    does not carry.) *)

@@ -3,6 +3,7 @@ module App = Adios_core.App
 module Clock = Adios_engine.Clock
 module Rng = Adios_engine.Rng
 module Injector = Adios_fault.Injector
+module Cluster = Adios_cluster.Cluster
 
 type t = {
   name : string;
@@ -15,6 +16,7 @@ type t = {
   fetch_timeout_us : float;
   fetch_retries : int;
   local_ratio : float option;
+  clusters : Cluster.config list;
 }
 
 type point = {
@@ -24,6 +26,7 @@ type point = {
   make_app : unit -> App.t;
   load : float;
   point_seed : int;
+  cluster : Cluster.config;
 }
 
 let seed_bound = 0x3FFF_FFFF
@@ -40,7 +43,7 @@ let point_seed ~seed ~index =
 let make ?(systems = [ Config.Hermit; Config.Dilos; Config.Dilos_p; Config.Adios ])
     ?(apps = [ "array" ]) ?(loads = [ 1000. ]) ?(requests = 4000) ?(seed = 42)
     ?(fault = Injector.none) ?(fetch_timeout_us = 50.) ?(fetch_retries = 3)
-    ?local_ratio ~name () =
+    ?local_ratio ?(clusters = [ Cluster.default ]) ~name () =
   let apps =
     List.map
       (fun n ->
@@ -60,28 +63,36 @@ let make ?(systems = [ Config.Hermit; Config.Dilos; Config.Dilos_p; Config.Adios
     fetch_timeout_us;
     fetch_retries;
     local_ratio;
+    clusters;
   }
 
-(* App-major, then system, then load: each (app, system) series is a
-   contiguous ascending-load block, the shape the figure oracles read. *)
+let clustered spec = List.exists Cluster.enabled spec.clusters
+
+(* App-major, then system, then cluster, then load: each
+   (app, system, cluster) series is a contiguous ascending-load block,
+   the shape the figure oracles read. *)
 let points spec =
   let index = ref (-1) in
   List.concat_map
     (fun (app_name, make_app) ->
       List.concat_map
         (fun system ->
-          List.map
-            (fun load ->
-              incr index;
-              {
-                index = !index;
-                system;
-                app_name;
-                make_app;
-                load;
-                point_seed = point_seed ~seed:spec.seed ~index:!index;
-              })
-            spec.loads)
+          List.concat_map
+            (fun cluster ->
+              List.map
+                (fun load ->
+                  incr index;
+                  {
+                    index = !index;
+                    system;
+                    app_name;
+                    make_app;
+                    load;
+                    point_seed = point_seed ~seed:spec.seed ~index:!index;
+                    cluster;
+                  })
+                spec.loads)
+            spec.clusters)
         spec.systems)
     spec.apps
 
@@ -96,16 +107,20 @@ let config spec point =
     cfg with
     Config.seed = point.point_seed;
     fault = spec.fault;
-    (* recovery is armed only on a faulty fabric, as in adios_sim: clean
-       sweeps stay byte-identical to builds without the injector *)
+    cluster = point.cluster;
+    (* recovery is armed on a faulty fabric or a crashing cluster — a
+       dead node's fetches only resolve through the timeout ladder;
+       clean sweeps stay byte-identical to builds without the injector *)
     fetch_timeout =
-      (if Injector.enabled spec.fault then Clock.of_us spec.fetch_timeout_us
+      (if Injector.enabled spec.fault || point.cluster.Cluster.crashes > 0
+       then Clock.of_us spec.fetch_timeout_us
        else 0);
     fetch_retries = spec.fetch_retries;
   }
 
 let point_count spec =
-  List.length spec.apps * List.length spec.systems * List.length spec.loads
+  List.length spec.apps * List.length spec.systems
+  * List.length spec.clusters * List.length spec.loads
 
 (* --- canonical reduced-scale specs (the golden tier) ------------------- *)
 
@@ -135,5 +150,38 @@ let reduced_rocksdb_scan =
 
 let reduced = [ reduced_array; reduced_memcached; reduced_rocksdb_scan ]
 
+(* Cluster golden: Adios on the array app at a single sub-knee load,
+   over the topology grid nodes x replication x crashes. The crash
+   lands at 1 ms — inside the measurement window of a 4000-request run
+   at 1000 krps — so the failover path is exercised mid-measurement.
+   The failover oracle pairs each crash row with its no-crash twin:
+   R = 2 must ride through with zero errored requests, R = 1 must
+   surface errors. *)
+let cluster_reduced =
+  let topo ~nodes ~replication ~crashes =
+    {
+      Cluster.default with
+      Cluster.nodes;
+      replication;
+      crashes;
+      crash_at_us = 1000.;
+    }
+  in
+  make ~name:"cluster-reduced" ~systems:[ Config.Adios ] ~loads:[ 1000. ]
+    ~clusters:
+      [
+        topo ~nodes:2 ~replication:1 ~crashes:0;
+        topo ~nodes:2 ~replication:1 ~crashes:1;
+        topo ~nodes:2 ~replication:2 ~crashes:0;
+        topo ~nodes:2 ~replication:2 ~crashes:1;
+        topo ~nodes:4 ~replication:1 ~crashes:0;
+        topo ~nodes:4 ~replication:1 ~crashes:1;
+        topo ~nodes:4 ~replication:2 ~crashes:0;
+        topo ~nodes:4 ~replication:2 ~crashes:1;
+      ]
+    ()
+
+let all_goldens = reduced @ [ cluster_reduced ]
+
 let reduced_by_name name =
-  List.find_opt (fun s -> String.equal s.name name) reduced
+  List.find_opt (fun s -> String.equal s.name name) all_goldens

@@ -13,9 +13,13 @@ type t = {
   requests : int;  (** arrivals injected per point *)
   seed : int;  (** sweep master seed; per-point seeds derive from it *)
   fault : Adios_fault.Injector.config;
-  fetch_timeout_us : float;  (** armed only when [fault] injects *)
+  fetch_timeout_us : float;
+      (** armed only when [fault] injects or a cluster point crashes *)
   fetch_retries : int;
   local_ratio : float option;  (** [None] keeps each system's default *)
+  clusters : Adios_cluster.Cluster.config list;
+      (** memory-node topology axis; default [[Cluster.default]] (one
+          node, R = 1) keeps every existing spec byte-identical *)
 }
 
 type point = {
@@ -25,6 +29,7 @@ type point = {
   make_app : unit -> Adios_core.App.t;
   load : float;
   point_seed : int;
+  cluster : Adios_cluster.Cluster.config;
 }
 
 val point_seed : seed:int -> index:int -> int
@@ -41,6 +46,7 @@ val make :
   ?fetch_timeout_us:float ->
   ?fetch_retries:int ->
   ?local_ratio:float ->
+  ?clusters:Adios_cluster.Cluster.config list ->
   name:string ->
   unit ->
   t
@@ -50,9 +56,14 @@ val make :
 
     @raise Invalid_argument on an unknown app name. *)
 
+val clustered : t -> bool
+(** Any non-trivial topology on the cluster axis? (Drives whether
+    datasets carry the cluster columns.) *)
+
 val points : t -> point list
-(** Grid expansion, app-major then system then load: each (app, system)
-    series is a contiguous ascending-load block. *)
+(** Grid expansion, app-major then system then cluster then load: each
+    (app, system, cluster) series is a contiguous ascending-load
+    block. *)
 
 val config : t -> point -> Adios_core.Config.t
 (** The per-point run configuration: the system's default, with the
@@ -71,6 +82,16 @@ val reduced_memcached : t
 val reduced_rocksdb_scan : t
 
 val reduced : t list
-(** All canonical reduced specs, in golden-directory order. *)
+(** The canonical single-node reduced specs, in golden-directory order. *)
+
+val cluster_reduced : t
+(** Adios over the nodes x replication x crashes topology grid at one
+    sub-knee load; its golden carries the cluster columns and is gated
+    by the failover + replication-tail oracles. *)
+
+val all_goldens : t list
+(** Every spec with a checked-in golden: {!reduced} plus
+    {!cluster_reduced}. *)
 
 val reduced_by_name : string -> t option
+(** Lookup over {!all_goldens}. *)

@@ -28,13 +28,26 @@ let throttle_extra t ~cycles =
   if t.throttle <= 0. then 0
   else int_of_float (ceil (t.throttle *. float_of_int cycles))
 
+type register_error = { wanted : int; free : int }
+
 let register t ~bytes =
   if t.next_base + bytes > t.capacity then
-    failwith "Memnode.register: capacity exhausted";
-  let r = { base = t.next_base; bytes } in
-  t.next_base <- t.next_base + bytes;
-  t.regions <- r :: t.regions;
-  r
+    Error { wanted = bytes; free = t.capacity - t.next_base }
+  else begin
+    let r = { base = t.next_base; bytes } in
+    t.next_base <- t.next_base + bytes;
+    t.regions <- r :: t.regions;
+    Ok r
+  end
+
+let register_exn t ~bytes =
+  match register t ~bytes with
+  | Ok r -> r
+  | Error { wanted; free } ->
+    invalid_arg
+      (Printf.sprintf
+         "Memnode.register: capacity exhausted (wanted %d, free %d)" wanted
+         free)
 
 let validate t ~addr ~bytes =
   List.exists

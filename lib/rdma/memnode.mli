@@ -14,9 +14,19 @@ val create : capacity_bytes:int -> t
 type region = { base : int; bytes : int }
 (** A registered memory region in the node's address space. *)
 
-val register : t -> bytes:int -> region
-(** Carve a region out of the node's capacity.
-    @raise Failure if capacity is exhausted. *)
+type register_error = { wanted : int; free : int }
+(** Registration refused: the node has only [free] bytes left of the
+    [wanted] request. *)
+
+val register : t -> bytes:int -> (region, register_error) result
+(** Carve a region out of the node's capacity. Returns [Error] when the
+    node is full — cluster placement skips full nodes instead of
+    crashing the run. *)
+
+val register_exn : t -> bytes:int -> region
+(** [register] for callers that sized the node themselves and treat
+    exhaustion as a programming error.
+    @raise Invalid_argument if capacity is exhausted. *)
 
 val validate : t -> addr:int -> bytes:int -> bool
 (** [validate t ~addr ~bytes] checks the access falls inside some

@@ -41,12 +41,13 @@ and 'a t = {
   mutable completed : int;
   mutable read_bytes : int;
   mutable dropped : int;
+  mutable dead : bool;
   fault : Adios_fault.Injector.t option;
   trace : Adios_trace.Sink.t;
 }
 
-let create ?(trace = Adios_trace.Sink.null) ?fault sim ~rx_link ~tx_link
-    ~wqe_overhead_cycles ~base_latency_cycles () =
+let create ?(trace = Adios_trace.Sink.null) ?fault ?(wr_id_base = 0) sim
+    ~rx_link ~tx_link ~wqe_overhead_cycles ~base_latency_cycles () =
   {
     sim;
     wqe_overhead = wqe_overhead_cycles;
@@ -54,11 +55,12 @@ let create ?(trace = Adios_trace.Sink.null) ?fault sim ~rx_link ~tx_link
     qps = [||];
     rx = { dir = Rx; link = rx_link; busy = false; cursor = 0 };
     tx = { dir = Tx; link = tx_link; busy = false; cursor = 0 };
-    next_wr_id = 0;
+    next_wr_id = wr_id_base;
     posted = 0;
     completed = 0;
     read_bytes = 0;
     dropped = 0;
+    dead = false;
     fault;
     trace;
   }
@@ -128,7 +130,10 @@ let rec kick nic engine =
                 ~is_read:(wr.opcode = Verbs.Read) ~qp:qp.qp_id
                 ~base_cycles:nic.base_latency
           in
-          let lost = verdict = Adios_fault.Injector.Drop in
+          (* a dead node never answers: its in-flight and future WRs all
+             take the lost-completion path, so the host's timeout/retry
+             machinery is the one recovery protocol for both fabrics *)
+          let lost = verdict = Adios_fault.Injector.Drop || nic.dead in
           let latency =
             nic.base_latency
             +
@@ -219,6 +224,8 @@ let post qp ~opcode ~bytes ~user ~cq =
     true
   end
 
+let fail nic = nic.dead <- true
+let is_dead nic = nic.dead
 let posted nic = nic.posted
 let completed nic = nic.completed
 let read_bytes nic = nic.read_bytes

@@ -24,6 +24,7 @@ type 'a qp
 val create :
   ?trace:Adios_trace.Sink.t ->
   ?fault:Adios_fault.Injector.t ->
+  ?wr_id_base:int ->
   Adios_engine.Sim.t ->
   rx_link:Link.t ->
   tx_link:Link.t ->
@@ -36,7 +37,10 @@ val create :
     [base_latency_cycles] the wire-to-completion delay. [trace]
     receives a [Wqe_post]/[Cqe] event pair per work request (the QP id
     in the worker field, the WR id in the page field); a completion the
-    [fault] injector loses emits [Fault_injected] instead of [Cqe]. *)
+    [fault] injector loses emits [Fault_injected] instead of [Cqe].
+    [wr_id_base] (default 0) offsets this NIC's WR ids — a multi-NIC
+    topology gives each NIC a disjoint base so WR ids stay unique in a
+    shared trace (the checker treats them as global). *)
 
 val create_qp : 'a t -> depth:int -> 'a qp
 (** New QP accepting at most [depth] outstanding work requests. *)
@@ -68,7 +72,17 @@ val read_bytes : 'a t -> int
 (** Payload bytes fetched with READ work requests. *)
 
 val dropped_completions : 'a t -> int
-(** Completions the fault injector lost since creation. *)
+(** Completions the fault injector lost since creation, plus those
+    swallowed after {!fail}. *)
+
+val fail : 'a t -> unit
+(** Kill the node behind this NIC: from now on every completion —
+    including those already in flight — is lost ([Fault_injected]
+    instead of [Cqe]), exactly like an injector drop. QP bookkeeping
+    still advances, so the host recovers through its normal
+    timeout/retry path. Irreversible. *)
+
+val is_dead : 'a t -> bool
 
 val register_metrics :
   'a t ->

@@ -17,6 +17,9 @@ type report = {
   timeouts : int;
   retries : int;
   errored : int;
+  nodes_failed : int;
+  failovers : int;
+  rereplicated : int;
   open_rdma : int;
   open_tx : int;
   open_losses : int;
@@ -53,6 +56,9 @@ let check ?(strict = true) events =
   and timeouts = ref 0
   and retries = ref 0
   and errored = ref 0
+  and nodes_failed = ref 0
+  and failovers = ref 0
+  and rereplicated = ref 0
   and count = ref 0 in
   (* per-worker Run_begin/Run_end alternation *)
   let run_open : (int, int) Hashtbl.t = Hashtbl.create 16 in
@@ -94,6 +100,9 @@ let check ?(strict = true) events =
   let abandoned : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   let lost : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   let timeout_open : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* memory nodes announced dead so far; failover and re-replication
+     only make sense after some node failed *)
+  let node_down : (int, unit) Hashtbl.t = Hashtbl.create 4 in
   let last_ts = ref min_int in
   List.iter
     (fun (e : Event.t) ->
@@ -295,7 +304,21 @@ let check ?(strict = true) events =
         (* the open fault interval resolves by surfacing the failure *)
         (match Hashtbl.find_opt fault_open key with
         | Some l -> List.iter (fun iv -> iv.satisfied <- true) l
-        | None -> ()))
+        | None -> ())
+      | Event.Node_failed ->
+        incr nodes_failed;
+        if Hashtbl.mem node_down e.page then
+          error "t=%d: node %d failed twice" e.ts e.page;
+        Hashtbl.replace node_down e.page ()
+      | Event.Failover ->
+        incr failovers;
+        if strict && Hashtbl.length node_down = 0 then
+          error "t=%d: failover for r%d/p%d with no failed node" e.ts e.req
+            e.page
+      | Event.Rereplicated ->
+        incr rereplicated;
+        if strict && Hashtbl.length node_down = 0 then
+          error "t=%d: re-replication of p%d with no failed node" e.ts e.page)
     events;
   if strict then begin
     Hashtbl.iter
@@ -347,6 +370,9 @@ let check ?(strict = true) events =
     timeouts = !timeouts;
     retries = !retries;
     errored = !errored;
+    nodes_failed = !nodes_failed;
+    failovers = !failovers;
+    rereplicated = !rereplicated;
     open_rdma = Hashtbl.fold (fun _ n acc -> acc + n) rdma_open 0;
     open_tx = Hashtbl.length tx_open;
     open_losses = Hashtbl.length lost;
@@ -367,6 +393,10 @@ let pp ppf r =
     Format.fprintf ppf
       "@,%d losses injected (%d pending), %d timeouts, %d retries, %d errored"
       r.injected r.open_losses r.timeouts r.retries r.errored;
+  if r.nodes_failed + r.failovers + r.rereplicated > 0 then
+    Format.fprintf ppf
+      "@,%d node(s) failed, %d failovers, %d pages re-replicated"
+      r.nodes_failed r.failovers r.rereplicated;
   Format.fprintf ppf "@,%s@]"
     (match r.errors with
     | [] -> "invariants: OK"

@@ -21,7 +21,12 @@
       [Fetch_retry] or a [Req_error] on the same (request, page); a
       [Fetch_retry] or [Req_error] never appears without its timeout
       (strict mode). Losses still awaiting their timeout when the trace
-      ends are reported in [open_losses], not flagged.
+      ends are reported in [open_losses], not flagged;
+    - cluster failover: [Failover] and [Rereplicated] never precede the
+      first [Node_failed], and no node fails twice. Combined with the
+      fault-recovery rules this proves every fetch in flight on a
+      failed node is retried (on a replica, the only place a repost can
+      land once the node is dead) or surfaced as a [Req_error].
 
     With [strict = false] — for traces truncated by the ring sink —
     pair-matching tolerates ends whose begins were evicted, and
@@ -46,6 +51,13 @@ type report = {
   timeouts : int;  (** [Fetch_timeout] count (demand + prefetch) *)
   retries : int;  (** [Fetch_retry] count *)
   errored : int;  (** requests surfaced with an error reply *)
+  nodes_failed : int;  (** [Node_failed] count (memnode crashes) *)
+  failovers : int;
+      (** fetches rerouted to a surviving replica; never legal before
+          the first [Node_failed] (strict mode) *)
+  rereplicated : int;
+      (** pages whose replication factor was restored in the
+          background; requires a prior [Node_failed] (strict mode) *)
   open_rdma : int;  (** issues outstanding at end of trace (allowed:
                         prefetches and write-backs may be in flight) *)
   open_tx : int;  (** TX completions pending at end of trace *)

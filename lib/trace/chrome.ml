@@ -9,6 +9,7 @@
 let tid_dispatcher = 0
 let tid_nic = 1000
 let tid_reclaimer = 1001
+let tid_cluster = 1002
 let worker_tid w = w + 1
 
 let tid_of (e : Event.t) =
@@ -73,13 +74,16 @@ let to_json ?(cycles_per_us = 2000) events =
       (match e.kind with
       | Event.Wqe_post | Event.Cqe | Event.Fault_injected ->
         Hashtbl.replace tids tid_nic "nic"
+      | Event.Node_failed | Event.Rereplicated ->
+        Hashtbl.replace tids tid_cluster "cluster"
       | Event.Req_enqueue | Event.Req_drop_queue | Event.Req_drop_buffer
       | Event.Dispatch | Event.Run_begin | Event.Run_end | Event.Fault_begin
       | Event.Fault_end | Event.Coalesce | Event.Rdma_issue
       | Event.Rdma_complete | Event.Tx_submit | Event.Tx_complete
       | Event.Evict | Event.Reclaim_begin | Event.Reclaim_end | Event.Preempt
       | Event.Stall_qp | Event.Stall_frame | Event.Stall_buffer
-      | Event.Fetch_timeout | Event.Fetch_retry | Event.Req_error -> ());
+      | Event.Fetch_timeout | Event.Fetch_retry | Event.Req_error
+      | Event.Failover -> ());
       if e.worker = Event.reclaimer_actor then
         Hashtbl.replace tids tid_reclaimer "reclaimer"
       else if e.worker >= 0 then
@@ -210,7 +214,17 @@ let to_json ?(cycles_per_us = 2000) events =
       | Event.Fetch_retry ->
         instant e ~name:(Printf.sprintf "retry p%d" e.page) ~cat:"fault"
       | Event.Req_error ->
-        instant e ~name:(Printf.sprintf "error r%d" e.req) ~cat:"fault")
+        instant e ~name:(Printf.sprintf "error r%d" e.req) ~cat:"fault"
+      | Event.Node_failed ->
+        instant e ~tid:tid_cluster
+          ~name:(Printf.sprintf "node %d failed" e.page)
+          ~cat:"cluster"
+      | Event.Failover ->
+        instant e ~name:(Printf.sprintf "failover p%d" e.page) ~cat:"cluster"
+      | Event.Rereplicated ->
+        instant e ~tid:tid_cluster
+          ~name:(Printf.sprintf "rereplicate p%d" e.page)
+          ~cat:"cluster")
     events;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf

@@ -25,6 +25,9 @@ type kind =
   | Fetch_timeout
   | Fetch_retry
   | Req_error
+  | Node_failed
+  | Failover
+  | Rereplicated
 
 type t = { ts : int; kind : kind; req : int; worker : int; page : int }
 
@@ -58,6 +61,9 @@ let kind_name = function
   | Fetch_timeout -> "fetch_timeout"
   | Fetch_retry -> "fetch_retry"
   | Req_error -> "req_error"
+  | Node_failed -> "node_failed"
+  | Failover -> "failover"
+  | Rereplicated -> "rereplicated"
 
 let pp ppf e =
   Format.fprintf ppf "%d %s req=%d w=%d page=%d" e.ts (kind_name e.kind) e.req

@@ -45,6 +45,15 @@ type kind =
   | Req_error
       (** a request's fetch exhausted its retries; the request
           completes with an error reply instead of wedging *)
+  | Node_failed
+      (** a memory node crashed (page = node id); every fetch in flight
+          on it will be recovered by failover or surfaced as an error *)
+  | Failover
+      (** a fetch was rerouted to a surviving replica (page = page id,
+          worker = faulting worker) after its node failed *)
+  | Rereplicated
+      (** the background re-replication task restored a page's
+          replication factor (page = page id) *)
 
 type t = { ts : int; kind : kind; req : int; worker : int; page : int }
 

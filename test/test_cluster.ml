@@ -1,0 +1,291 @@
+(* lib/cluster unit tests: config clamping, placement arithmetic,
+   liveness-aware routing, the seeded crash schedule, background
+   re-replication, and the trace checker's cluster rules on synthetic
+   streams. Sim-driven cases build a real cluster over real links and
+   NICs, so the failure path is exercised exactly as the system wires
+   it. *)
+
+module Sim = Adios_engine.Sim
+module Clock = Adios_engine.Clock
+module Cluster = Adios_cluster.Cluster
+module Event = Adios_trace.Event
+module Checker = Adios_trace.Checker
+module Sink = Adios_trace.Sink
+module Registry = Adios_obs.Registry
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let pages = 64
+
+let make ?trace ?(seed = 7) cfg =
+  let sim = Sim.create () in
+  let c =
+    Cluster.create ?trace sim cfg ~pages ~page_size:4096 ~gbps:100.
+      ~wire_overhead:0. ~wqe_overhead_cycles:100 ~base_latency_cycles:1000
+      ~qp_depth:16 ~throttle:0. ~rereplicate_gap_cycles:100 ~seed
+  in
+  (sim, c)
+
+let topo ?(nodes = 4) ?(replication = 2) ?(crashes = 0) ?(crash_at_us = 10.) ()
+    =
+  { Cluster.default with Cluster.nodes; replication; crashes; crash_at_us }
+
+(* --- config --------------------------------------------------------------- *)
+
+let test_normalize () =
+  let n =
+    Cluster.normalize
+      {
+        Cluster.default with
+        Cluster.nodes = 0;
+        replication = 9;
+        crashes = -2;
+        slow_nodes = 5;
+        slow_factor = -1.;
+      }
+  in
+  check_int "nodes clamped up" 1 n.Cluster.nodes;
+  check_int "replication clamped to nodes" 1 n.Cluster.replication;
+  check_int "crashes clamped" 0 n.Cluster.crashes;
+  check_int "slow_nodes clamped to nodes" 1 n.Cluster.slow_nodes;
+  check (Alcotest.float 0.) "slow_factor clamped" 0. n.Cluster.slow_factor;
+  let r =
+    Cluster.normalize
+      { Cluster.default with Cluster.nodes = 4; replication = 9 }
+  in
+  check_int "replication capped at node count" 4 r.Cluster.replication
+
+let test_enabled () =
+  check_bool "default is the single-node system" false
+    (Cluster.enabled Cluster.default);
+  check_bool "extra nodes enable" true
+    (Cluster.enabled { Cluster.default with Cluster.nodes = 2 });
+  check_bool "crashes enable" true
+    (Cluster.enabled { Cluster.default with Cluster.crashes = 1 });
+  check_bool "slowdowns enable" true
+    (Cluster.enabled
+       { Cluster.default with Cluster.slow_nodes = 1; slow_factor = 0.5 })
+
+(* --- placement ------------------------------------------------------------ *)
+
+let test_striped_placement () =
+  let _, c = make (topo ()) in
+  for page = 0 to pages - 1 do
+    check_int "primary = page mod nodes" (page mod 4)
+      (Cluster.primary c ~page);
+    check
+      Alcotest.(list int)
+      "replicas are successor nodes"
+      [ page mod 4; (page + 1) mod 4 ]
+      (Cluster.replicas c ~page)
+  done
+
+let test_hashed_placement () =
+  let _, c = make (topo ()) in
+  let _, c' = make { (topo ()) with Cluster.placement = Cluster.Hashed } in
+  let _, c'' = make { (topo ()) with Cluster.placement = Cluster.Hashed } in
+  let seen = Array.make 4 false in
+  for page = 0 to pages - 1 do
+    let p = Cluster.primary c' ~page in
+    check_bool "primary in range" true (p >= 0 && p < 4);
+    seen.(p) <- true;
+    check_int "placement is a pure function of the page" p
+      (Cluster.primary c'' ~page);
+    let reps = Cluster.replicas c' ~page in
+    check_int "R distinct replicas" 2
+      (List.length (List.sort_uniq compare reps))
+  done;
+  check_bool "hashed placement uses every node" true
+    (Array.for_all (fun b -> b) seen);
+  (* hashing must actually decorrelate from striping somewhere *)
+  let differs = ref false in
+  for page = 0 to pages - 1 do
+    if Cluster.primary c' ~page <> Cluster.primary c ~page then differs := true
+  done;
+  check_bool "hashed differs from striped" true !differs
+
+(* --- routing -------------------------------------------------------------- *)
+
+let test_routing_follows_liveness () =
+  let _, c = make (topo ()) in
+  let nodes = Cluster.nodes c in
+  let page = 0 in
+  (* healthy: the primary serves, no failover *)
+  check (Alcotest.pair Alcotest.int Alcotest.bool) "healthy read" (0, false)
+    (Cluster.route_read c ~page);
+  check Alcotest.(list int) "healthy write fan-out" [ 0; 1 ]
+    (Cluster.write_targets c ~page);
+  (* dead primary: reads fail over to the replica, writes shrink *)
+  nodes.(0).Cluster.alive <- false;
+  check (Alcotest.pair Alcotest.int Alcotest.bool) "failover read" (1, true)
+    (Cluster.route_read c ~page);
+  check Alcotest.(list int) "degraded write fan-out" [ 1 ]
+    (Cluster.write_targets c ~page);
+  (* both replicas dead: route to the dead primary (the timeout ladder
+     surfaces the error) and drop the write *)
+  nodes.(1).Cluster.alive <- false;
+  check (Alcotest.pair Alcotest.int Alcotest.bool) "all-dead read" (0, false)
+    (Cluster.route_read c ~page);
+  check Alcotest.(list int) "all-dead write" [] (Cluster.write_targets c ~page)
+
+(* --- crash schedule ------------------------------------------------------- *)
+
+let alive_count c =
+  Array.fold_left
+    (fun acc nd -> if nd.Cluster.alive then acc + 1 else acc)
+    0 (Cluster.nodes c)
+
+let test_crash_fires_on_schedule () =
+  let sim, c = make (topo ~nodes:2 ~replication:1 ~crashes:1 ()) in
+  Cluster.start c;
+  check_int "alive before the schedule runs" 2 (alive_count c);
+  Sim.run sim;
+  check_int "one node failed" 1 (Cluster.nodes_failed c);
+  check_int "one node left" 1 (alive_count c)
+
+let test_never_kills_last_node () =
+  let sim, c = make (topo ~nodes:2 ~replication:1 ~crashes:5 ()) in
+  Cluster.start c;
+  Sim.run sim;
+  check_int "crash schedule stops at the last node" 1 (Cluster.nodes_failed c);
+  check_int "a survivor remains" 1 (alive_count c)
+
+let test_default_schedules_nothing () =
+  let sim, c = make Cluster.default in
+  Cluster.start c;
+  let before = Sim.events_processed sim in
+  Sim.run sim;
+  check_int "start armed no events" before (Sim.events_processed sim)
+
+(* --- re-replication ------------------------------------------------------- *)
+
+let test_rereplication_restores_copies () =
+  let trace = Sink.create ~capacity:65536 in
+  let sim, c = make ~trace (topo ~nodes:4 ~replication:2 ~crashes:1 ()) in
+  Cluster.start c;
+  Sim.run sim;
+  check_int "one node failed" 1 (Cluster.nodes_failed c);
+  let dead =
+    match
+      Array.find_opt (fun nd -> not nd.Cluster.alive) (Cluster.nodes c)
+    with
+    | Some nd -> nd.Cluster.id
+    | None -> Alcotest.fail "no dead node after the crash schedule"
+  in
+  check_bool "pages were re-replicated" true (Cluster.rereplicated c > 0);
+  check_int "backlog drained" 0 (Cluster.rereplication_backlog c);
+  for page = 0 to pages - 1 do
+    let reps = Cluster.replicas c ~page in
+    check_bool "no replica list references the dead node" false
+      (List.mem dead reps);
+    check_int "replication factor restored" 2
+      (List.length (List.sort_uniq compare reps));
+    let node, _ = Cluster.route_read c ~page in
+    check_bool "reads never route to the dead node" true (node <> dead)
+  done;
+  (* the repair legs kept the trace's WQE accounting exact *)
+  let report = Checker.check (Sink.to_list trace) in
+  check (Alcotest.list Alcotest.string) "trace invariants" []
+    report.Checker.errors;
+  check_int "checker saw the failure" 1 report.Checker.nodes_failed;
+  check_int "checker saw the repairs" (Cluster.rereplicated c)
+    report.Checker.rereplicated
+
+let test_two_nodes_cannot_rereplicate () =
+  (* with R = nodes there is no spare: the cluster stays degraded
+     without wedging the backlog *)
+  let sim, c = make (topo ~nodes:2 ~replication:2 ~crashes:1 ()) in
+  Cluster.start c;
+  Sim.run sim;
+  check_int "nothing re-replicated" 0 (Cluster.rereplicated c);
+  check_int "backlog still drained" 0 (Cluster.rereplication_backlog c)
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let test_node_labelled_metrics () =
+  let _, c = make (topo ~nodes:2 ~replication:1 ()) in
+  let reg = Registry.create () in
+  Cluster.register_metrics c reg ~labels:[ ("system", "Adios") ];
+  let series = List.map Registry.series_name (Registry.metrics reg) in
+  List.iter
+    (fun node ->
+      let want =
+        Printf.sprintf "adios_cluster_node_alive{node=%d,system=Adios}" node
+      in
+      check_bool (want ^ " exported") true (List.mem want series))
+    [ 0; 1 ]
+
+(* --- checker rules on synthetic streams ----------------------------------- *)
+
+let ev ?(ts = 0) ?(req = Event.none) ?(worker = Event.none)
+    ?(page = Event.none) kind =
+  { Event.ts; kind; req; worker; page }
+
+let errors_of events = (Checker.check events).Checker.errors
+
+let test_checker_cluster_rules () =
+  check_bool "double node failure rejected" true
+    (errors_of
+       [ ev ~ts:1 ~page:0 Event.Node_failed; ev ~ts:2 ~page:0 Event.Node_failed ]
+    <> []);
+  check_bool "failover with no failed node rejected" true
+    (errors_of [ ev ~ts:1 ~req:3 ~page:9 Event.Failover ] <> []);
+  check_bool "re-replication with no failed node rejected" true
+    (errors_of [ ev ~ts:1 ~page:9 Event.Rereplicated ] <> []);
+  let legal =
+    [
+      ev ~ts:1 ~page:0 Event.Node_failed;
+      ev ~ts:2 ~req:3 ~page:9 Event.Failover;
+      ev ~ts:3 ~page:9 Event.Rereplicated;
+    ]
+  in
+  check (Alcotest.list Alcotest.string) "failure then recovery is legal" []
+    (errors_of legal);
+  let report = Checker.check legal in
+  check_int "nodes_failed counted" 1 report.Checker.nodes_failed;
+  check_int "failovers counted" 1 report.Checker.failovers;
+  check_int "rereplicated counted" 1 report.Checker.rereplicated
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "normalize clamps" `Quick test_normalize;
+          Alcotest.test_case "enabled" `Quick test_enabled;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "striped" `Quick test_striped_placement;
+          Alcotest.test_case "hashed" `Quick test_hashed_placement;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "follows liveness" `Quick
+            test_routing_follows_liveness;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "crash fires on schedule" `Quick
+            test_crash_fires_on_schedule;
+          Alcotest.test_case "never kills last node" `Quick
+            test_never_kills_last_node;
+          Alcotest.test_case "default schedules nothing" `Quick
+            test_default_schedules_nothing;
+          Alcotest.test_case "re-replication restores copies" `Quick
+            test_rereplication_restores_copies;
+          Alcotest.test_case "no spare, no wedge" `Quick
+            test_two_nodes_cannot_rereplicate;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "node-labelled series" `Quick
+            test_node_labelled_metrics;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "cluster rules" `Quick test_checker_cluster_rules;
+        ] );
+    ]

@@ -57,10 +57,33 @@ let golden_columns =
     "cpu_idle_share";
   ]
 
+(* The cluster-topology block appended to clustered datasets only
+   (test/golden/cluster-reduced.csv); single-node goldens never carry
+   these, which is what keeps them byte-identical across the cluster
+   subsystem's introduction. *)
+let golden_cluster_columns =
+  [
+    "nodes";
+    "replication";
+    "crashes";
+    "nodes_failed";
+    "failovers";
+    "rereplicated";
+    "lost_writes";
+    "dead_reads";
+    "sim_events";
+  ]
+
 let test_column_names () =
   Alcotest.check
     Alcotest.(list string)
     "exported CSV columns, in order" golden_columns Export.column_names
+
+let test_cluster_column_names () =
+  Alcotest.check
+    Alcotest.(list string)
+    "cluster CSV columns, in order" golden_cluster_columns
+    Export.cluster_column_names
 
 let test_csv_header () =
   Alcotest.check Alcotest.string "csv header line"
@@ -68,9 +91,9 @@ let test_csv_header () =
     Export.csv_header
 
 let test_no_duplicate_columns () =
-  let sorted = List.sort_uniq compare Export.column_names in
-  Alcotest.check Alcotest.int "no duplicate column names"
-    (List.length Export.column_names)
+  let all = Export.column_names @ Export.cluster_column_names in
+  let sorted = List.sort_uniq compare all in
+  Alcotest.check Alcotest.int "no duplicate column names" (List.length all)
     (List.length sorted)
 
 let () =
@@ -79,6 +102,8 @@ let () =
       ( "header",
         [
           Alcotest.test_case "column names frozen" `Quick test_column_names;
+          Alcotest.test_case "cluster column names frozen" `Quick
+            test_cluster_column_names;
           Alcotest.test_case "header line" `Quick test_csv_header;
           Alcotest.test_case "no duplicates" `Quick test_no_duplicate_columns;
         ] );

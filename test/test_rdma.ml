@@ -188,21 +188,77 @@ let test_raw_eth_delivery () =
 
 let test_memnode () =
   let m = Memnode.create ~capacity_bytes:10_000 in
-  let r = Memnode.register m ~bytes:4000 in
+  let r = Memnode.register_exn m ~bytes:4000 in
   check_int "base" 0 r.Memnode.base;
-  let r2 = Memnode.register m ~bytes:4000 in
+  let r2 = Memnode.register_exn m ~bytes:4000 in
   check_int "base2" 4000 r2.Memnode.base;
   check_bool "valid" true (Memnode.validate m ~addr:100 ~bytes:64);
   check_bool "valid across" true (Memnode.validate m ~addr:4000 ~bytes:4000);
   check_bool "invalid" false (Memnode.validate m ~addr:8000 ~bytes:64);
-  Alcotest.check_raises "exhausted" (Failure "Memnode.register: capacity exhausted")
-    (fun () -> ignore (Memnode.register m ~bytes:4000));
+  (* typed refusal: a full node reports what it had left *)
+  (match Memnode.register m ~bytes:4000 with
+  | Ok _ -> Alcotest.fail "register past capacity should refuse"
+  | Error e ->
+    check_int "wanted" 4000 e.Memnode.wanted;
+    check_int "free" 2000 e.Memnode.free);
+  (* the refusal must not have consumed capacity *)
+  (match Memnode.register m ~bytes:2000 with
+  | Ok r3 -> check_int "refusal left capacity intact" 8000 r3.Memnode.base
+  | Error _ -> Alcotest.fail "exact-fit register should succeed");
+  Alcotest.check_raises "register_exn raises typed message"
+    (Invalid_argument
+       "Memnode.register: capacity exhausted (wanted 1, free 0)")
+    (fun () -> ignore (Memnode.register_exn m ~bytes:1));
   Memnode.record_read m ~bytes:4096;
   Memnode.record_write m ~bytes:64;
   check_int "reads" 1 (Memnode.reads m);
   check_int "writes" 1 (Memnode.writes m);
   check_int "bytes" 4160 (Memnode.bytes_served m);
-  check_int "registered" 8000 (Memnode.registered_bytes m)
+  check_int "registered" 10_000 (Memnode.registered_bytes m)
+
+let test_memnode_validate_boundaries () =
+  let m = Memnode.create ~capacity_bytes:12_000 in
+  let a = Memnode.register_exn m ~bytes:4000 in
+  (* leave a hole in the address space by sizing the second region so the
+     registered span is contiguous; boundary cases probe region edges *)
+  let b = Memnode.register_exn m ~bytes:4000 in
+  check_int "a base" 0 a.Memnode.base;
+  check_int "b base" 4000 b.Memnode.base;
+  (* exact region edges *)
+  check_bool "full region a" true (Memnode.validate m ~addr:0 ~bytes:4000);
+  check_bool "last byte of a" true (Memnode.validate m ~addr:3999 ~bytes:1);
+  check_bool "one past a's end, within b" true
+    (Memnode.validate m ~addr:4000 ~bytes:1);
+  check_bool "overrun by one byte" false
+    (Memnode.validate m ~addr:4000 ~bytes:4001);
+  (* zero-byte access: inside a region is valid, at the exclusive end of
+     the last region too (empty range at base+bytes), past it is not *)
+  check_bool "zero-byte inside" true (Memnode.validate m ~addr:100 ~bytes:0);
+  check_bool "zero-byte at end" true (Memnode.validate m ~addr:8000 ~bytes:0);
+  check_bool "zero-byte past end" false
+    (Memnode.validate m ~addr:8001 ~bytes:0);
+  (* cross-region span: regions are registered adjacently but validate is
+     per-region — a span crossing the a/b boundary is rejected, exactly
+     like an rkey that does not cover the whole access *)
+  check_bool "cross-region span rejected" false
+    (Memnode.validate m ~addr:3000 ~bytes:2000);
+  check_bool "span within one region ok" true
+    (Memnode.validate m ~addr:4000 ~bytes:4000)
+
+let test_memnode_throttle_clamp () =
+  let m = Memnode.create ~capacity_bytes:4096 in
+  check_int "no throttle, no extra" 0 (Memnode.throttle_extra m ~cycles:656);
+  Memnode.set_throttle m 0.5;
+  check_int "half throttle" 328 (Memnode.throttle_extra m ~cycles:656);
+  (* ceil: 0.5 * 655 = 327.5 rounds up *)
+  check_int "ceil rounding" 328 (Memnode.throttle_extra m ~cycles:655);
+  Memnode.set_throttle m (-3.);
+  check (Alcotest.float 0.) "negative clamps to zero" 0. (Memnode.throttle m);
+  check_int "clamped throttle adds nothing" 0
+    (Memnode.throttle_extra m ~cycles:656);
+  Memnode.set_throttle m 0.25;
+  check_int "zero-cycle access stays zero" 0
+    (Memnode.throttle_extra m ~cycles:0)
 
 let prop_conservation =
   (* every accepted WR produces exactly one completion, in per-QP order *)
@@ -256,6 +312,13 @@ let () =
         ] );
       ( "raw_eth",
         [ Alcotest.test_case "delivery" `Quick test_raw_eth_delivery ] );
-      ("memnode", [ Alcotest.test_case "regions" `Quick test_memnode ]);
+      ( "memnode",
+        [
+          Alcotest.test_case "regions" `Quick test_memnode;
+          Alcotest.test_case "validate boundaries" `Quick
+            test_memnode_validate_boundaries;
+          Alcotest.test_case "throttle clamping" `Quick
+            test_memnode_throttle_clamp;
+        ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_conservation ]);
     ]

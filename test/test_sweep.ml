@@ -82,6 +82,53 @@ let test_csv_round_trip () =
     check Alcotest.int "rows" (Spec.point_count Spec.reduced_array)
       (Dataset.length ds')
 
+(* --- the cluster golden -------------------------------------------------- *)
+
+(* The topology-grid sweep: one sequential run shared by the golden,
+   replay and oracle-bundle tests below. *)
+let cluster_sequential = lazy (Sweep.run ~jobs:1 Spec.cluster_reduced)
+
+let cluster_dataset =
+  lazy (Dataset.of_run ~cluster:true (Lazy.force cluster_sequential))
+
+let test_cluster_replay_bit_identical () =
+  let again = Sweep.run ~jobs:2 Spec.cluster_reduced in
+  check Alcotest.string
+    "same seed, same bytes across crash schedules (jobs=1 vs jobs=2)"
+    (Dataset.to_csv (Lazy.force cluster_dataset))
+    (Dataset.to_csv (Dataset.of_run ~cluster:true again))
+
+let test_cluster_golden_match () =
+  match Dataset.load ~path:"golden/cluster-reduced.csv" with
+  | Error e -> Alcotest.fail e
+  | Ok golden ->
+    no_violations "within tolerance of the cluster golden"
+      (Oracle.compare_golden ~golden (Lazy.force cluster_dataset))
+
+let test_cluster_oracles () =
+  let ds = Lazy.force cluster_dataset in
+  no_violations "failover + replication-tail gates"
+    (Oracle.check_cluster ds);
+  (* the headline claims, asserted directly on the rows: a crash with
+     R = 2 rides through error-free on failover reads; with R = 1 the
+     dead primary's pages must error out *)
+  List.iter
+    (fun row ->
+      if Dataset.geti ds row "crashes" > 0 then begin
+        check Alcotest.int "the scheduled crash fired" 1
+          (Dataset.geti ds row "nodes_failed");
+        if Dataset.geti ds row "replication" >= 2 then begin
+          check Alcotest.int "R=2: zero errored requests" 0
+            (Dataset.geti ds row "errored");
+          check Alcotest.bool "R=2: reads failed over" true
+            (Dataset.geti ds row "failovers" > 0)
+        end
+        else
+          check Alcotest.bool "R=1: errors surface" true
+            (Dataset.geti ds row "errored" > 0)
+      end)
+    ds.Dataset.rows
+
 (* --- spec --------------------------------------------------------------- *)
 
 let test_point_seeds () =
@@ -223,6 +270,64 @@ let test_compare_golden_bands () =
           (synth latency_header
              (curve_rows "A" [ (100., 10., 90.); (200., 11., 150.) ]))))
 
+let cluster_header =
+  [
+    "load"; "system"; "app"; "nodes"; "replication"; "crashes";
+    "nodes_failed"; "failovers"; "errored"; "p999_us";
+  ]
+
+let cluster_row ?(nodes_failed = 0) ?(failovers = 0) ?(errored = 0)
+    ~replication ~crashes ~p999 () =
+  [
+    "1000."; "Adios"; "array"; "2"; string_of_int replication;
+    string_of_int crashes; string_of_int nodes_failed;
+    string_of_int failovers; string_of_int errored; string_of_float p999;
+  ]
+
+let test_failover_synthetic () =
+  let grid ?(r2_crash = cluster_row ~replication:2 ~crashes:1 ~nodes_failed:1
+                          ~failovers:40 ~p999:11. ())
+      ?(r1_crash = cluster_row ~replication:1 ~crashes:1 ~nodes_failed:1
+                     ~errored:50 ~p999:60. ()) () =
+    synth cluster_header
+      [
+        cluster_row ~replication:1 ~crashes:0 ~p999:9. ();
+        r1_crash;
+        cluster_row ~replication:2 ~crashes:0 ~p999:10. ();
+        r2_crash;
+      ]
+  in
+  no_violations "the expected split passes" (Oracle.check_failover (grid ()));
+  let fails label ds = check Alcotest.bool label true (Oracle.check_failover ds <> []) in
+  fails "R=2 errors caught"
+    (grid ~r2_crash:(cluster_row ~replication:2 ~crashes:1 ~nodes_failed:1
+                       ~failovers:40 ~errored:5 ~p999:11. ()) ());
+  fails "missing failovers caught"
+    (grid ~r2_crash:(cluster_row ~replication:2 ~crashes:1 ~nodes_failed:1
+                       ~p999:11. ()) ());
+  fails "unbounded tail caught"
+    (grid ~r2_crash:(cluster_row ~replication:2 ~crashes:1 ~nodes_failed:1
+                       ~failovers:40 ~p999:200. ()) ());
+  fails "unfired crash caught"
+    (grid ~r1_crash:(cluster_row ~replication:1 ~crashes:1 ~errored:50
+                       ~p999:60. ()) ());
+  fails "silently-served R=1 crash caught"
+    (grid ~r1_crash:(cluster_row ~replication:1 ~crashes:1 ~nodes_failed:1
+                       ~p999:9. ()) ())
+
+let test_replication_tail_synthetic () =
+  let grid r2_p999 =
+    synth cluster_header
+      [
+        cluster_row ~replication:1 ~crashes:0 ~p999:9. ();
+        cluster_row ~replication:2 ~crashes:0 ~p999:r2_p999 ();
+      ]
+  in
+  no_violations "modest replication overhead passes"
+    (Oracle.check_replication_tail (grid 12.));
+  check Alcotest.int "poisoned tail caught" 1
+    (List.length (Oracle.check_replication_tail (grid 40.)))
+
 let test_dataset_accessors () =
   let ds =
     synth latency_header
@@ -254,6 +359,15 @@ let () =
           Alcotest.test_case "conservation" `Quick test_conservation;
           Alcotest.test_case "csv round-trip" `Quick test_csv_round_trip;
         ] );
+      ( "cluster golden",
+        [
+          Alcotest.test_case "replay bit-identical" `Quick
+            test_cluster_replay_bit_identical;
+          Alcotest.test_case "matches checked-in golden" `Quick
+            test_cluster_golden_match;
+          Alcotest.test_case "failover split holds" `Quick
+            test_cluster_oracles;
+        ] );
       ( "spec",
         [
           Alcotest.test_case "point seeds" `Quick test_point_seeds;
@@ -268,6 +382,9 @@ let () =
           Alcotest.test_case "conservation" `Quick
             test_conservation_synthetic;
           Alcotest.test_case "golden bands" `Quick test_compare_golden_bands;
+          Alcotest.test_case "failover" `Quick test_failover_synthetic;
+          Alcotest.test_case "replication tail" `Quick
+            test_replication_tail_synthetic;
           Alcotest.test_case "dataset accessors" `Quick
             test_dataset_accessors;
         ] );
