@@ -14,6 +14,7 @@ module Spec = Adios_exp.Spec
 module Sweep = Adios_exp.Sweep
 module Dataset = Adios_exp.Dataset
 module Oracle = Adios_exp.Oracle
+module Bench = Adios_exp.Bench
 
 (* The oracle bundle a spec must pass: clustered sweeps trade the
    multi-system shape checks for the failover and replication gates. *)
@@ -161,57 +162,76 @@ let regen_golden dir jobs quiet =
    reduced sweeps plus the cluster topology grid) and record wall time
    against the deterministic work measure — events processed by the
    discrete-event engine. BENCH_sweep.json at the repo root is the
-   checked-in snapshot; regenerate with `adios_sweep --bench`. *)
-let bench path jobs quiet =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf
-    (Printf.sprintf "{\n  \"harness\": \"adios_sweep --bench\",\n  \
-                     \"jobs\": %d,\n  \"sweeps\": [\n" jobs);
-  let first = ref true in
-  List.iter
-    (fun (spec : Spec.t) ->
-      (* lint: allow determinism -- wall-clock benchmark timing, not in a dataset *)
-      let t0 = Unix.gettimeofday () in
-      let run = Sweep.run ~jobs ~progress:(progress_line quiet) spec in
-      (* lint: allow determinism -- same benchmark timing *)
-      let wall = Unix.gettimeofday () -. t0 in
-      let events =
-        List.fold_left (fun acc (_, r) -> acc + r.Runner.sim_events) 0 run
-      in
-      let requests =
-        List.fold_left (fun acc (_, r) -> acc + r.Runner.requests) 0 run
-      in
-      let rate = float_of_int events /. Float.max 1e-9 wall in
-      if not !first then Buffer.add_string buf ",\n";
-      first := false;
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"sweep\": %S, \"points\": %d, \"requests\": %d, \
-            \"sim_events\": %d, \"wall_s\": %.3f, \"events_per_s\": %.0f}"
-           spec.Spec.name (List.length run) requests events wall rate);
-      Format.printf "bench %s: %d points, %d sim events in %.2fs \
-                     (%.2e events/s)@."
-        spec.Spec.name (List.length run) events wall rate)
-    Spec.all_goldens;
-  Buffer.add_string buf "\n  ]\n}\n";
-  match
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (Buffer.contents buf))
-  with
-  | () -> Format.printf "bench results: %s@." path
-  | exception Sys_error msg -> fail_write path msg
+   checked-in perf trajectory; regenerate with `adios_sweep --bench`:
+   when FILE already holds a snapshot, the new measurement becomes the
+   current one and the old snapshot is appended to its history, so the
+   trajectory is never lost. [baseline], if given, gates the run on the
+   deterministic [sim_events] of another bench file (never on time). *)
+let bench path jobs quiet label baseline =
+  let sweeps =
+    List.map
+      (fun (spec : Spec.t) ->
+        (* lint: allow determinism -- wall-clock benchmark timing, not in a dataset *)
+        let t0 = Unix.gettimeofday () in
+        let run = Sweep.run ~jobs ~progress:(progress_line quiet) spec in
+        (* lint: allow determinism -- same benchmark timing *)
+        let wall = Unix.gettimeofday () -. t0 in
+        let events =
+          List.fold_left (fun acc (_, r) -> acc + r.Runner.sim_events) 0 run
+        in
+        let requests =
+          List.fold_left (fun acc (_, r) -> acc + r.Runner.requests) 0 run
+        in
+        let rate = float_of_int events /. Float.max 1e-9 wall in
+        Format.printf "bench %s: %d points, %d sim events in %.2fs \
+                       (%.2e events/s)@."
+          spec.Spec.name (List.length run) events wall rate;
+        {
+          Bench.sweep = spec.Spec.name;
+          points = List.length run;
+          requests;
+          sim_events = events;
+          wall_s = wall;
+          events_per_s = Float.round rate;
+        })
+      Spec.all_goldens
+  in
+  let snap = { Bench.harness = "adios_sweep --bench"; jobs; label; sweeps } in
+  let trajectory =
+    if Sys.file_exists path then
+      match Bench.load ~path with
+      | Ok prev -> Bench.append prev snap
+      | Error msg ->
+        Format.eprintf "adios_sweep: %s: %s (not appending history)@." path msg;
+        { Bench.current = snap; history = [] }
+    else { Bench.current = snap; history = [] }
+  in
+  (try Bench.store ~path trajectory
+   with Sys_error msg -> fail_write path msg);
+  Format.printf "bench results: %s@." path;
+  match baseline with
+  | None -> 0
+  | Some base_path -> (
+    match Bench.load ~path:base_path with
+    | Error msg ->
+      Format.eprintf "adios_sweep: baseline %s: %s@." base_path msg;
+      1
+    | Ok base -> (
+      match Bench.sim_events_match ~expected:base.Bench.current ~actual:snap with
+      | Ok () ->
+        Format.printf "bench baseline: sim_events match %s@." base_path;
+        0
+      | Error msg ->
+        Format.eprintf "adios_sweep: bench baseline: %s@." msg;
+        1))
 
 let run spec_name systems apps loads requests seed jobs out golden oracle
-    knee_k json quiet regen bench_out =
+    knee_k json quiet regen bench_out bench_label bench_baseline =
   match (regen, bench_out) with
   | Some dir, _ ->
     regen_golden dir jobs quiet;
     0
-  | None, Some path ->
-    bench path jobs quiet;
-    0
+  | None, Some path -> bench path jobs quiet bench_label bench_baseline
   | None, None ->
     let spec =
       match spec_name with
@@ -400,7 +420,27 @@ let bench_arg =
         ~doc:
           "Run every golden spec and write a simulator-throughput \
            benchmark (sim events, wall time, events/s per sweep) to \
-           FILE. The checked-in snapshot is BENCH_sweep.json.")
+           FILE. If FILE already holds a snapshot, it is preserved in \
+           the file's history array, making FILE a perf trajectory. \
+           The checked-in trajectory is BENCH_sweep.json.")
+
+let bench_label_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench-label" ] ~docv:"LABEL"
+        ~doc:"Provenance tag stored in the bench snapshot (e.g. a PR name).")
+
+let bench_baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench-baseline" ] ~docv:"FILE"
+        ~doc:
+          "After --bench, compare the deterministic sim_events of every \
+           sweep against the current snapshot in FILE and exit non-zero \
+           on drift. Wall-clock numbers are never compared — the gate \
+           is a determinism check, not a speed check.")
 
 let cmd =
   let doc = "run a declarative sweep with figure-shape oracles and goldens" in
@@ -409,6 +449,7 @@ let cmd =
     Term.(
       const run $ spec_arg $ systems_arg $ apps_arg $ loads_arg $ requests_arg
       $ seed_arg $ jobs_arg $ out_arg $ golden_arg $ oracle_arg $ knee_k_arg
-      $ json_arg $ quiet_arg $ regen_arg $ bench_arg)
+      $ json_arg $ quiet_arg $ regen_arg $ bench_arg $ bench_label_arg
+      $ bench_baseline_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -137,9 +137,8 @@ let create ?(trace = Sink.null) ?fault sim cfg ~pages ~page_size ~gbps
     node_tab;
   let repl_cq = Verbs.Cq.create () in
   Verbs.Cq.set_notify repl_cq (fun () ->
-      List.iter
-        (fun (c : (unit -> unit) Verbs.completion) -> c.user ())
-        (Verbs.Cq.poll repl_cq ~max:max_int));
+      Verbs.Cq.drain repl_cq
+        (fun (c : (unit -> unit) Verbs.completion) -> c.user ()));
   {
     sim;
     cfg;

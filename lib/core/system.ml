@@ -96,6 +96,8 @@ type t = {
   counters : counters;
   fault : Injector.t option;
   trace : Trace_sink.t;
+  trace_on : bool;  (** cached [Trace_sink.enabled trace]: one load+branch
+                        per instrumentation site when tracing is off *)
   acct : Acct.t;  (** CPU slots: workers 0..n-1, dispatcher last *)
 }
 
@@ -106,9 +108,11 @@ let faults_injected t =
   match t.fault with None -> 0 | Some inj -> Injector.injected inj
 
 (* Single tracing entry point: one branch and no allocation when the
-   sink is off. *)
+   sink is off — the cached [trace_on] flag skips even the [Sim.now]
+   read and the cross-module [emit] call. *)
 let ev ?(req = -1) ?(worker = -1) ?(page = -1) t kind =
-  Trace_sink.emit t.trace ~ts:(Sim.now t.sim) ~kind ~req ~worker ~page
+  if t.trace_on then
+    Trace_sink.emit t.trace ~ts:(Sim.now t.sim) ~kind ~req ~worker ~page
 
 let worker_id e = match e.worker with Some w -> w.wid | None -> -1
 
@@ -159,12 +163,8 @@ let is_busywait cfg =
    spinning poller sees its CQE the moment it arrives; yield-mode
    callbacks only enqueue the unithread, the worker switches back later. *)
 let attach_drain cq =
-  let drain () =
-    List.iter
-      (fun (c : (unit -> unit) Verbs.completion) -> c.user ())
-      (Verbs.Cq.poll cq ~max:max_int)
-  in
-  Verbs.Cq.set_notify cq drain
+  let run (c : (unit -> unit) Verbs.completion) = c.user () in
+  Verbs.Cq.set_notify cq (fun () -> Verbs.Cq.drain cq run)
 
 (* --- page-fault handling ------------------------------------------------ *)
 
@@ -1028,6 +1028,7 @@ let create ?(trace = Trace_sink.null) sim cfg app ~on_reply =
         };
       fault;
       trace;
+      trace_on = Trace_sink.enabled trace;
       acct = Acct.create sim ~cpus:(cfg.Config.workers + 1);
     }
   in

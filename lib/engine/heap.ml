@@ -1,68 +1,124 @@
-type 'a entry = { time : int; seq : int; value : 'a }
+(* Flat-array binary min-heap. The three parallel arrays replace the old
+   boxed [entry] record: a push writes three slots and a pop reads three,
+   so steady-state heap traffic allocates nothing. [pop_into] stashes the
+   popped key in mutable scalar fields and the popped payload in the slot
+   the pop itself vacated ([vals.(len)]), which is why the accessors are
+   only valid until the next [push]/[pop_into]. *)
 
-type 'a t = { mutable arr : 'a entry array; mutable len : int }
+type 'a t = {
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable len : int;
+  mutable out_time : int;
+  mutable out_seq : int;
+}
 
-let create () = { arr = [||]; len = 0 }
+let create () =
+  { times = [||]; seqs = [||]; vals = [||]; len = 0; out_time = 0; out_seq = 0 }
 
 let length h = h.len
 let is_empty h = h.len = 0
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let grow h entry =
-  let cap = Array.length h.arr in
-  if h.len = cap then begin
-    let ncap = if cap = 0 then 64 else cap * 2 in
-    let narr = Array.make ncap entry in
-    Array.blit h.arr 0 narr 0 h.len;
-    h.arr <- narr
-  end
+(* Grow to double capacity; [v] seeds the fresh payload slots so no
+   dummy value (and no [Obj] trickery) is ever needed. *)
+let grow h v =
+  let cap = Array.length h.times in
+  let ncap = if cap = 0 then 64 else cap * 2 in
+  let times = Array.make ncap 0 in
+  let seqs = Array.make ncap 0 in
+  let vals = Array.make ncap v in
+  Array.blit h.times 0 times 0 h.len;
+  Array.blit h.seqs 0 seqs 0 h.len;
+  Array.blit h.vals 0 vals 0 h.len;
+  h.times <- times;
+  h.seqs <- seqs;
+  h.vals <- vals
 
 let push h ~time ~seq value =
-  let entry = { time; seq; value } in
-  grow h entry;
-  h.arr.(h.len) <- entry;
-  h.len <- h.len + 1;
-  (* sift up *)
-  let i = ref (h.len - 1) in
-  while
-    !i > 0
-    &&
+  if h.len = Array.length h.times then grow h value;
+  let times = h.times and seqs = h.seqs and vals = h.vals in
+  (* sift up with a hole: the new entry is only written once, at its
+     final position *)
+  let i = ref h.len in
+  let continue = ref true in
+  while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    less h.arr.(!i) h.arr.(parent)
-  do
-    let parent = (!i - 1) / 2 in
-    let tmp = h.arr.(!i) in
-    h.arr.(!i) <- h.arr.(parent);
-    h.arr.(parent) <- tmp;
-    i := parent
-  done
+    let pt = Array.unsafe_get times parent in
+    if time < pt || (time = pt && seq < Array.unsafe_get seqs parent) then begin
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs parent);
+      Array.unsafe_set vals !i (Array.unsafe_get vals parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set vals !i value;
+  h.len <- h.len + 1
 
-let pop h =
-  if h.len = 0 then None
+let top_time h = if h.len = 0 then max_int else Array.unsafe_get h.times 0
+let top_seq h = if h.len = 0 then max_int else Array.unsafe_get h.seqs 0
+let peek_time h = if h.len = 0 then None else Some h.times.(0)
+
+let pop_into h =
+  if h.len = 0 then false
   else begin
-    let top = h.arr.(0) in
-    h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.arr.(0) <- h.arr.(h.len);
-      (* sift down *)
+    let times = h.times and seqs = h.seqs and vals = h.vals in
+    h.out_time <- Array.unsafe_get times 0;
+    h.out_seq <- Array.unsafe_get seqs 0;
+    let top = Array.unsafe_get vals 0 in
+    let len = h.len - 1 in
+    h.len <- len;
+    if len > 0 then begin
+      (* move the last entry down from the root with a hole *)
+      let mt = Array.unsafe_get times len in
+      let ms = Array.unsafe_get seqs len in
+      let mv = Array.unsafe_get vals len in
       let i = ref 0 in
       let continue = ref true in
       while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.len && less h.arr.(l) h.arr.(!smallest) then smallest := l;
-        if r < h.len && less h.arr.(r) h.arr.(!smallest) then smallest := r;
-        if !smallest = !i then continue := false
+        let l = (2 * !i) + 1 in
+        if l >= len then continue := false
         else begin
-          let tmp = h.arr.(!i) in
-          h.arr.(!i) <- h.arr.(!smallest);
-          h.arr.(!smallest) <- tmp;
-          i := !smallest
+          let r = l + 1 in
+          let small =
+            if r < len then begin
+              let lt = Array.unsafe_get times l
+              and rt = Array.unsafe_get times r in
+              if
+                rt < lt
+                || (rt = lt
+                    && Array.unsafe_get seqs r < Array.unsafe_get seqs l)
+              then r
+              else l
+            end
+            else l
+          in
+          let st = Array.unsafe_get times small in
+          if st < mt || (st = mt && Array.unsafe_get seqs small < ms) then begin
+            Array.unsafe_set times !i st;
+            Array.unsafe_set seqs !i (Array.unsafe_get seqs small);
+            Array.unsafe_set vals !i (Array.unsafe_get vals small);
+            i := small
+          end
+          else continue := false
         end
-      done
+      done;
+      Array.unsafe_set times !i mt;
+      Array.unsafe_set seqs !i ms;
+      Array.unsafe_set vals !i mv
     end;
-    Some (top.time, top.seq, top.value)
+    (* stash the popped payload in the vacated slot so [popped_value]
+       needs no option/dummy *)
+    Array.unsafe_set vals len top;
+    true
   end
 
-let peek_time h = if h.len = 0 then None else Some h.arr.(0).time
+let popped_time h = h.out_time
+let popped_seq h = h.out_seq
+let popped_value h = h.vals.(h.len)
+
+let pop h =
+  if pop_into h then Some (h.out_time, h.out_seq, popped_value h) else None

@@ -1,0 +1,68 @@
+type 'a entry = { time : int; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+
+let length h = h.len
+let is_empty h = h.len = 0
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h entry =
+  let cap = Array.length h.arr in
+  if h.len = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let narr = Array.make ncap entry in
+    Array.blit h.arr 0 narr 0 h.len;
+    h.arr <- narr
+  end
+
+let push h ~time ~seq value =
+  let entry = { time; seq; value } in
+  grow h entry;
+  h.arr.(h.len) <- entry;
+  h.len <- h.len + 1;
+  (* sift up *)
+  let i = ref (h.len - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less h.arr.(!i) h.arr.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = h.arr.(!i) in
+    h.arr.(!i) <- h.arr.(parent);
+    h.arr.(parent) <- tmp;
+    i := parent
+  done
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.arr.(0) <- h.arr.(h.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.len && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.arr.(!i) in
+          h.arr.(!i) <- h.arr.(!smallest);
+          h.arr.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.time, top.seq, top.value)
+  end
+
+let peek_time h = if h.len = 0 then None else Some h.arr.(0).time

@@ -1,0 +1,283 @@
+type sweep = {
+  sweep : string;
+  points : int;
+  requests : int;
+  sim_events : int;
+  wall_s : float;
+  events_per_s : float;
+}
+
+type snapshot = {
+  harness : string;
+  jobs : int;
+  label : string option;
+  sweeps : sweep list;
+}
+
+type t = { current : snapshot; history : snapshot list }
+
+(* --- minimal JSON reader ------------------------------------------------- *)
+
+(* Just enough JSON for the bench-file shape: objects, arrays, strings
+   (escapes limited to quote, backslash, slash, newline, tab), and
+   numbers. *)
+type json =
+  | Str of string
+  | Num of float
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () <> c then
+      raise (Bad (Printf.sprintf "expected %C at offset %d" c !pos));
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '\000' -> raise (Bad "unterminated string")
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | c -> raise (Bad (Printf.sprintf "unsupported escape \\%C" c)));
+        advance ();
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while is_num_char (peek ()) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> f
+    | None -> raise (Bad (Printf.sprintf "bad number %S" text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | c -> raise (Bad (Printf.sprintf "expected ',' or '}', got %C" c))
+        in
+        Obj (members [])
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | c -> raise (Bad (Printf.sprintf "expected ',' or ']', got %C" c))
+        in
+        Arr (elements [])
+      end
+    | '0' .. '9' | '-' -> Num (parse_number ())
+    | c -> raise (Bad (Printf.sprintf "unexpected %C at offset %d" c !pos))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad "trailing garbage after JSON value");
+  v
+
+(* --- decoding ------------------------------------------------------------ *)
+
+let field name = function
+  | Obj kvs -> (
+    match List.assoc_opt name kvs with
+    | Some v -> v
+    | None -> raise (Bad (Printf.sprintf "missing field %S" name)))
+  | _ -> raise (Bad (Printf.sprintf "expected object with field %S" name))
+
+let field_opt name = function Obj kvs -> List.assoc_opt name kvs | _ -> None
+
+let as_string = function
+  | Str s -> s
+  | _ -> raise (Bad "expected string")
+
+let as_float = function
+  | Num f -> f
+  | _ -> raise (Bad "expected number")
+
+let as_int j = int_of_float (as_float j)
+let as_list = function Arr l -> l | _ -> raise (Bad "expected array")
+
+let decode_sweep j =
+  {
+    sweep = as_string (field "sweep" j);
+    points = as_int (field "points" j);
+    requests = as_int (field "requests" j);
+    sim_events = as_int (field "sim_events" j);
+    wall_s = as_float (field "wall_s" j);
+    events_per_s = as_float (field "events_per_s" j);
+  }
+
+let decode_snapshot j =
+  {
+    harness = as_string (field "harness" j);
+    jobs = as_int (field "jobs" j);
+    label = Option.map as_string (field_opt "label" j);
+    sweeps = List.map decode_sweep (as_list (field "sweeps" j));
+  }
+
+let parse text =
+  match parse_json text with
+  | exception Bad msg -> Error ("bench file: " ^ msg)
+  | j -> (
+    match
+      let current = decode_snapshot j in
+      let history =
+        match field_opt "history" j with
+        | None -> []
+        | Some h -> List.map decode_snapshot (as_list h)
+      in
+      { current; history }
+    with
+    | t -> Ok t
+    | exception Bad msg -> Error ("bench file: " ^ msg))
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let render_sweep buf ~indent s =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%s{\"sweep\": %S, \"points\": %d, \"requests\": %d, \
+        \"sim_events\": %d, \"wall_s\": %.3f, \"events_per_s\": %.0f}"
+       indent s.sweep s.points s.requests s.sim_events s.wall_s s.events_per_s)
+
+let render_snapshot_fields buf ~indent snap =
+  Buffer.add_string buf
+    (Printf.sprintf "%s\"harness\": %S,\n%s\"jobs\": %d,\n" indent snap.harness
+       indent snap.jobs);
+  (match snap.label with
+  | None -> ()
+  | Some l -> Buffer.add_string buf (Printf.sprintf "%s\"label\": %S,\n" indent l));
+  Buffer.add_string buf (Printf.sprintf "%s\"sweeps\": [\n" indent);
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      render_sweep buf ~indent:(indent ^ "  ") s)
+    snap.sweeps;
+  Buffer.add_string buf (Printf.sprintf "\n%s]" indent)
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  render_snapshot_fields buf ~indent:"  " t.current;
+  (match t.history with
+  | [] -> ()
+  | history ->
+    Buffer.add_string buf ",\n  \"history\": [\n";
+    List.iteri
+      (fun i snap ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf "    {\n";
+        render_snapshot_fields buf ~indent:"      " snap;
+        Buffer.add_string buf "\n    }")
+      history;
+    Buffer.add_string buf "\n  ]");
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let store ~path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render t))
+
+(* --- trajectory ----------------------------------------------------------- *)
+
+let append t snap = { current = snap; history = t.history @ [ t.current ] }
+let find_sweep snap name = List.find_opt (fun s -> s.sweep = name) snap.sweeps
+
+let sim_events_match ~expected ~actual =
+  let rec go = function
+    | [] -> Ok ()
+    | e :: rest -> (
+      match find_sweep actual e.sweep with
+      | None -> Error (Printf.sprintf "sweep %S missing from the run" e.sweep)
+      | Some a ->
+        if a.sim_events <> e.sim_events then
+          Error
+            (Printf.sprintf
+               "sweep %S: sim_events drifted (expected %d, got %d)" e.sweep
+               e.sim_events a.sim_events)
+        else go rest)
+  in
+  go expected.sweeps

@@ -1,0 +1,66 @@
+(** Model of [BENCH_sweep.json]: the simulator-throughput perf trajectory.
+
+    The file carries one {e current} snapshot (the fields at the top
+    level: harness, jobs, per-sweep results) plus a [history] array of
+    the snapshots it replaced, oldest first — so the repo root keeps a
+    running record of events/s across PRs. Two measures live in each
+    sweep entry:
+
+    - [sim_events] — events processed by the discrete-event engine, a
+      pure function of the spec. This is the determinism fingerprint:
+      tests and CI gate on it and it must never drift.
+    - [wall_s] / [events_per_s] — machine-dependent timings. Never
+      gated on; they are the trajectory being tracked.
+
+    The parser is a minimal JSON reader for exactly this shape (the
+    repo carries no JSON dependency); [render] reproduces the committed
+    formatting byte-for-byte so [store (load path)] is the identity. *)
+
+type sweep = {
+  sweep : string;  (** spec name, e.g. ["array-reduced"] *)
+  points : int;
+  requests : int;
+  sim_events : int;  (** deterministic work measure — the gated field *)
+  wall_s : float;
+  events_per_s : float;
+}
+
+type snapshot = {
+  harness : string;
+  jobs : int;
+  label : string option;  (** free-form provenance tag, e.g. a PR name *)
+  sweeps : sweep list;
+}
+
+type t = {
+  current : snapshot;
+  history : snapshot list;  (** superseded snapshots, oldest first *)
+}
+
+val parse : string -> (t, string) result
+(** Parse the contents of a bench file. A file without a [history] key
+    (the original single-snapshot format) parses with [history = []]. *)
+
+val load : path:string -> (t, string) result
+(** [parse] applied to the contents of [path]. *)
+
+val render : t -> string
+(** Serialize back to the canonical on-disk formatting. *)
+
+val store : path:string -> t -> unit
+(** Write [render t] to [path].
+    @raise Sys_error on I/O failure. *)
+
+val append : t -> snapshot -> t
+(** [append prev snap] makes [snap] the current snapshot and pushes the
+    previous current onto the end of the history — the append-only step
+    each regeneration performs. *)
+
+val find_sweep : snapshot -> string -> sweep option
+(** Look up a sweep entry by spec name. *)
+
+val sim_events_match : expected:snapshot -> actual:snapshot -> (unit, string) result
+(** Compare the [sim_events] of every sweep present in [expected]
+    against [actual] by name. [Error msg] names the first sweep that is
+    missing from [actual] or disagrees on [sim_events]; wall-clock
+    fields are ignored entirely. *)

@@ -44,6 +44,7 @@ and 'a t = {
   mutable dead : bool;
   fault : Adios_fault.Injector.t option;
   trace : Adios_trace.Sink.t;
+  trace_on : bool; (* cached [Sink.enabled trace] for the per-WR path *)
 }
 
 let create ?(trace = Adios_trace.Sink.null) ?fault ?(wr_id_base = 0) sim
@@ -63,6 +64,7 @@ let create ?(trace = Adios_trace.Sink.null) ?fault ?(wr_id_base = 0) sim
     dead = false;
     fault;
     trace;
+    trace_on = Adios_trace.Sink.enabled trace;
   }
 
 let create_qp nic ~depth =
@@ -85,6 +87,40 @@ let qp_id qp = qp.qp_id
 let outstanding qp = qp.outstanding
 
 let direction_of = function Verbs.Read -> Rx | Verbs.Write | Verbs.Send -> Tx
+
+(* Deliver one completion (or swallow a lost one). Top-level so the
+   in-order path — the overwhelmingly common case — calls it directly;
+   only a WR that finished ahead of a predecessor pays a closure to park
+   in [qp.stalled]. *)
+let deliver_wr qp wr ~lost =
+  let nic = qp.nic in
+  qp.outstanding <- qp.outstanding - 1;
+  if lost then begin
+    nic.dropped <- nic.dropped + 1;
+    if nic.trace_on then
+      Adios_trace.Sink.emit nic.trace
+        ~ts:(Adios_engine.Sim.now nic.sim)
+        ~kind:Adios_trace.Event.Fault_injected ~req:Adios_trace.Event.none
+        ~worker:qp.qp_id ~page:wr.wr_id
+  end
+  else begin
+    nic.completed <- nic.completed + 1;
+    if wr.opcode = Verbs.Read then nic.read_bytes <- nic.read_bytes + wr.bytes;
+    if nic.trace_on then
+      Adios_trace.Sink.emit nic.trace
+        ~ts:(Adios_engine.Sim.now nic.sim)
+        ~kind:Adios_trace.Event.Cqe ~req:Adios_trace.Event.none
+        ~worker:qp.qp_id ~page:wr.wr_id;
+    Verbs.Cq.push wr.cq
+      {
+        Verbs.wr_id = wr.wr_id;
+        opcode = wr.opcode;
+        bytes = wr.bytes;
+        posted_at = wr.posted_at;
+        completed_at = Adios_engine.Sim.now nic.sim;
+        user = wr.user;
+      }
+  end
 
 (* Pick the next QP (round-robin from the engine cursor) whose head WR
    travels in this engine's direction. *)
@@ -149,50 +185,25 @@ let rec kick nic engine =
              but no CQE is pushed: the initiator only learns of the loss
              through its own timeout. *)
           Adios_engine.Sim.schedule nic.sim ~delay:latency (fun () ->
-              let deliver () =
-                qp.outstanding <- qp.outstanding - 1;
-                if lost then begin
-                  nic.dropped <- nic.dropped + 1;
-                  Adios_trace.Sink.emit nic.trace
-                    ~ts:(Adios_engine.Sim.now nic.sim)
-                    ~kind:Adios_trace.Event.Fault_injected
-                    ~req:Adios_trace.Event.none ~worker:qp.qp_id
-                    ~page:wr.wr_id
-                end
-                else begin
-                  nic.completed <- nic.completed + 1;
-                  if wr.opcode = Verbs.Read then
-                    nic.read_bytes <- nic.read_bytes + wr.bytes;
-                  Adios_trace.Sink.emit nic.trace
-                    ~ts:(Adios_engine.Sim.now nic.sim)
-                    ~kind:Adios_trace.Event.Cqe ~req:Adios_trace.Event.none
-                    ~worker:qp.qp_id ~page:wr.wr_id;
-                  Verbs.Cq.push wr.cq
-                    {
-                      Verbs.wr_id = wr.wr_id;
-                      opcode = wr.opcode;
-                      bytes = wr.bytes;
-                      posted_at = wr.posted_at;
-                      completed_at = Adios_engine.Sim.now nic.sim;
-                      user = wr.user;
-                    }
-                end
-              in
               if wr.qp_seq = qp.deliver_seq then begin
-                deliver ();
+                deliver_wr qp wr ~lost;
                 qp.deliver_seq <- qp.deliver_seq + 1;
-                let rec drain () =
-                  match Hashtbl.find_opt qp.stalled qp.deliver_seq with
-                  | Some f ->
-                    Hashtbl.remove qp.stalled qp.deliver_seq;
-                    f ();
-                    qp.deliver_seq <- qp.deliver_seq + 1;
-                    drain ()
-                  | None -> ()
-                in
-                drain ()
+                if Hashtbl.length qp.stalled > 0 then begin
+                  let rec drain () =
+                    match Hashtbl.find_opt qp.stalled qp.deliver_seq with
+                    | Some f ->
+                      Hashtbl.remove qp.stalled qp.deliver_seq;
+                      f ();
+                      qp.deliver_seq <- qp.deliver_seq + 1;
+                      drain ()
+                    | None -> ()
+                  in
+                  drain ()
+                end
               end
-              else Hashtbl.replace qp.stalled wr.qp_seq deliver);
+              else
+                Hashtbl.replace qp.stalled wr.qp_seq (fun () ->
+                    deliver_wr qp wr ~lost));
           kick nic engine)
   end
 
@@ -203,10 +214,11 @@ let post qp ~opcode ~bytes ~user ~cq =
     nic.next_wr_id <- nic.next_wr_id + 1;
     nic.posted <- nic.posted + 1;
     qp.outstanding <- qp.outstanding + 1;
-    Adios_trace.Sink.emit nic.trace
-      ~ts:(Adios_engine.Sim.now nic.sim)
-      ~kind:Adios_trace.Event.Wqe_post ~req:Adios_trace.Event.none
-      ~worker:qp.qp_id ~page:nic.next_wr_id;
+    if nic.trace_on then
+      Adios_trace.Sink.emit nic.trace
+        ~ts:(Adios_engine.Sim.now nic.sim)
+        ~kind:Adios_trace.Event.Wqe_post ~req:Adios_trace.Event.none
+        ~worker:qp.qp_id ~page:nic.next_wr_id;
     let qp_seq = qp.next_seq in
     qp.next_seq <- qp.next_seq + 1;
     Queue.push

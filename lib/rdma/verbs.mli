@@ -31,6 +31,13 @@ module Cq : sig
   val push : 'a t -> 'a completion -> unit
   (** Deliver a completion (NIC side). *)
 
+  val drain : 'a t -> ('a completion -> unit) -> unit
+  (** [drain t f] applies [f] to every queued completion in arrival
+      order, without building a list. Completions pushed by [f] itself
+      (e.g. a handler that posts a synchronously-completing WR) are
+      drained in the same pass. This is the hot-path variant of
+      {!poll}. *)
+
   val poll : 'a t -> max:int -> 'a completion list
   (** Drain up to [max] completions in arrival order. *)
 

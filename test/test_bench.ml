@@ -1,0 +1,134 @@
+(* Bench-trajectory determinism tier: the perf trajectory in
+   BENCH_sweep.json tracks events/s over time, and that only means
+   anything if its work measure — sim_events per sweep — is a pure
+   function of the spec. This suite re-runs the reduced bench specs
+   (each one at two job counts for the parallel runner) and holds the
+   event counts against the committed file exactly. Wall-clock numbers
+   are machine-dependent and never compared.
+
+   The Bench module itself (the hand-rolled JSON round-trip, history
+   append, and the sim_events gate the CI bench-smoke job relies on) is
+   covered by unit tests below. *)
+
+module Bench = Adios_exp.Bench
+module Spec = Adios_exp.Spec
+module Sweep = Adios_exp.Sweep
+module Runner = Adios_core.Runner
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_str = check Alcotest.string
+
+let bench_path = "../BENCH_sweep.json"
+
+let committed =
+  lazy
+    (match Bench.load ~path:bench_path with
+    | Ok t -> t
+    | Error msg -> Alcotest.fail ("BENCH_sweep.json unreadable: " ^ msg))
+
+let sim_events_of_run run =
+  List.fold_left (fun acc (_, r) -> acc + r.Runner.sim_events) 0 run
+
+let committed_events name =
+  match Bench.find_sweep (Lazy.force committed).Bench.current name with
+  | Some s -> s.Bench.sim_events
+  | None -> Alcotest.fail ("sweep missing from BENCH_sweep.json: " ^ name)
+
+(* Each golden spec's engine-event count must reproduce the committed
+   snapshot exactly, and must not depend on the job count. *)
+let test_sim_events ~jobs (spec : Spec.t) () =
+  let run = Sweep.run ~jobs spec in
+  check_int
+    (Printf.sprintf "%s sim_events (jobs=%d)" spec.Spec.name jobs)
+    (committed_events spec.Spec.name)
+    (sim_events_of_run run)
+
+(* --- Bench module units -------------------------------------------------- *)
+
+let test_roundtrip_committed () =
+  let text =
+    let ic = open_in_bin bench_path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Bench.parse text with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    check_str "render reproduces the committed bytes" text (Bench.render t)
+
+(* Values representable at the file's precision (wall_s %.3f,
+   events_per_s %.0f), so the round-trip comparison is exact. *)
+let sweep name events =
+  {
+    Bench.sweep = name;
+    points = 2;
+    requests = 100;
+    sim_events = events;
+    wall_s = 1.5;
+    events_per_s = float_of_int (events * 100);
+  }
+
+let snap ?label sweeps =
+  { Bench.harness = "adios_sweep --bench"; jobs = 1; label; sweeps }
+
+let test_append_preserves_history () =
+  let s1 = snap ~label:"first" [ sweep "a" 10 ] in
+  let s2 = snap [ sweep "a" 10; sweep "b" 20 ] in
+  let s3 = snap [ sweep "a" 11 ] in
+  let t = { Bench.current = s1; history = [] } in
+  let t = Bench.append t s2 in
+  let t = Bench.append t s3 in
+  check_int "history grows" 2 (List.length t.Bench.history);
+  check Alcotest.(option string) "oldest first" (Some "first")
+    (List.hd t.Bench.history).Bench.label;
+  (* the trajectory survives a disk round-trip *)
+  match Bench.parse (Bench.render t) with
+  | Error msg -> Alcotest.fail msg
+  | Ok t' -> check Alcotest.bool "round-trips" true (t = t')
+
+let test_sim_events_gate () =
+  let base = snap [ sweep "a" 10; sweep "b" 20 ] in
+  let ok = snap [ sweep "b" 20; sweep "a" 10; sweep "extra" 1 ] in
+  check Alcotest.bool "match up to order and extras" true
+    (Bench.sim_events_match ~expected:base ~actual:ok = Ok ());
+  (match Bench.sim_events_match ~expected:base ~actual:(snap [ sweep "a" 10 ]) with
+  | Ok () -> Alcotest.fail "missing sweep must fail"
+  | Error msg ->
+    check Alcotest.bool "names the missing sweep" true
+      (String.length msg > 0));
+  match
+    Bench.sim_events_match ~expected:base
+      ~actual:(snap [ sweep "a" 10; sweep "b" 21 ])
+  with
+  | Ok () -> Alcotest.fail "drifted sim_events must fail"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "bench"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "committed file round-trips" `Quick
+            test_roundtrip_committed;
+          Alcotest.test_case "append preserves history" `Quick
+            test_append_preserves_history;
+          Alcotest.test_case "sim_events gate" `Quick test_sim_events_gate;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "array jobs=1" `Slow
+            (test_sim_events ~jobs:1 Spec.reduced_array);
+          Alcotest.test_case "array jobs=2" `Slow
+            (test_sim_events ~jobs:2 Spec.reduced_array);
+          Alcotest.test_case "memcached jobs=1" `Slow
+            (test_sim_events ~jobs:1 Spec.reduced_memcached);
+          Alcotest.test_case "rocksdb jobs=1" `Slow
+            (test_sim_events ~jobs:1 Spec.reduced_rocksdb_scan);
+          Alcotest.test_case "cluster jobs=1" `Slow
+            (test_sim_events ~jobs:1 Spec.cluster_reduced);
+          Alcotest.test_case "cluster jobs=2" `Slow
+            (test_sim_events ~jobs:2 Spec.cluster_reduced);
+        ] );
+    ]

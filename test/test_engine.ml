@@ -92,6 +92,50 @@ let prop_heap_drain_to_empty =
       && Heap.is_empty h && Heap.length h = 0 && Heap.pop h = None
       && Heap.peek_time h = None)
 
+(* Growth from the empty [[||]] backing array: the first push allocates
+   storage and pushes past the initial capacity double it, preserving
+   order throughout. *)
+let test_heap_growth_from_empty () =
+  let h = Heap.create () in
+  check_bool "starts empty" true (Heap.is_empty h);
+  check_int "empty top sentinel" max_int (Heap.top_time h);
+  for i = 0 to 199 do
+    Heap.push h ~time:(199 - i) ~seq:i i
+  done;
+  check_int "len" 200 (Heap.length h);
+  let rec drain last n =
+    match Heap.pop h with
+    | Some (t, _, _) ->
+      check_bool "sorted" true (t >= last);
+      drain t (n + 1)
+    | None -> n
+  in
+  check_int "all out" 200 (drain min_int 0)
+
+(* Pop to empty, then push again: the heap (and the pop_into accessors)
+   must come back clean after a full drain. *)
+let test_heap_pop_to_empty_then_reuse () =
+  let h = Heap.create () in
+  Heap.push h ~time:1 ~seq:1 "x";
+  check_bool "popped" true (Heap.pop_into h);
+  check Alcotest.string "popped value" "x" (Heap.popped_value h);
+  check_int "popped time" 1 (Heap.popped_time h);
+  check_int "popped seq" 1 (Heap.popped_seq h);
+  check_bool "empty again" true (Heap.is_empty h);
+  check_bool "pop on empty" false (Heap.pop_into h);
+  check_int "empty top_time" max_int (Heap.top_time h);
+  check_int "empty top_seq" max_int (Heap.top_seq h);
+  Heap.push h ~time:9 ~seq:2 "y";
+  Heap.push h ~time:4 ~seq:3 "z";
+  check
+    (Alcotest.option
+       (Alcotest.triple Alcotest.int Alcotest.int Alcotest.string))
+    "reused" (Some (4, 3, "z")) (Heap.pop h);
+  check
+    (Alcotest.option
+       (Alcotest.triple Alcotest.int Alcotest.int Alcotest.string))
+    "drained" (Some (9, 2, "y")) (Heap.pop h)
+
 (* --- clock ------------------------------------------------------------ *)
 
 let test_clock () =
@@ -164,6 +208,108 @@ let test_sim_negative_delay_clamped () =
       Sim.schedule sim ~delay:(-50) (fun () -> at := Sim.now sim));
   Sim.run sim;
   check_int "clamped to now" 20 !at
+
+(* Every past-time clamp is counted; on-time and zero-delay schedules
+   are not. *)
+let test_clamped_schedules_counter () =
+  let sim = Sim.create () in
+  check_int "fresh" 0 (Sim.clamped_schedules sim);
+  let at = ref (-1) in
+  Sim.schedule sim ~delay:20 (fun () ->
+      Sim.schedule_at sim 5 (fun () -> at := Sim.now sim);
+      Sim.schedule sim ~delay:(-3) (fun () -> ());
+      ignore (Sim.timer_at sim 0 (fun () -> ())));
+  Sim.run sim;
+  check_int "three clamps counted" 3 (Sim.clamped_schedules sim);
+  check_int "clamped event ran at now" 20 !at;
+  Sim.schedule sim ~delay:0 (fun () -> ());
+  Sim.schedule_at sim (Sim.now sim) (fun () -> ());
+  Sim.run sim;
+  check_int "on-time schedules are not clamps" 3 (Sim.clamped_schedules sim)
+
+(* An event at exactly the limit fires; one past it does not; the clock
+   lands on the limit and stays there on a redundant call. *)
+let test_run_until_boundary () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  Sim.schedule sim ~delay:100 (fun () -> fired := 100 :: !fired);
+  Sim.schedule sim ~delay:101 (fun () -> fired := 101 :: !fired);
+  Sim.run_until sim 100;
+  check (Alcotest.list Alcotest.int) "at-limit fires" [ 100 ] (List.rev !fired);
+  check_int "now = limit" 100 (Sim.now sim);
+  check_int "one left" 1 (Sim.pending sim);
+  Sim.run_until sim 100;
+  check_int "idempotent" 100 (Sim.now sim);
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "rest fires" [ 100; 101 ]
+    (List.rev !fired)
+
+(* Cancelled timers never run, never count, and never advance the clock;
+   [pending] excludes them. Both the wheel (short delay) and the far
+   heap (beyond the wheel horizon) honour this. *)
+let test_cancel_pending_timer () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let near = Sim.timer_after sim ~delay:50 (fun () -> fired := true) in
+  let far = Sim.timer_at sim 200_000 (fun () -> fired := true) in
+  check_bool "near pending" true (Sim.timer_pending sim near);
+  check_bool "far pending" true (Sim.timer_pending sim far);
+  check_int "two queued" 2 (Sim.pending sim);
+  Sim.cancel sim near;
+  Sim.cancel sim far;
+  check_bool "near cancelled" false (Sim.timer_pending sim near);
+  check_int "pending excludes cancelled" 0 (Sim.pending sim);
+  Sim.run sim;
+  check_bool "never fired" false !fired;
+  check_int "nothing processed" 0 (Sim.events_processed sim);
+  check_int "clock never advanced" 0 (Sim.now sim)
+
+(* Cancelling a timer that already fired is a no-op — in particular it
+   must not kill an unrelated event that reuses the same pool cell. *)
+let test_cancel_after_fire_noop () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let tok = Sim.timer_at sim 10 (fun () -> incr fired) in
+  Sim.run sim;
+  check_int "fired" 1 !fired;
+  check_bool "fired timer not pending" false (Sim.timer_pending sim tok);
+  Sim.cancel sim tok;
+  Sim.schedule sim ~delay:5 (fun () -> incr fired);
+  Sim.cancel sim tok;
+  Sim.run sim;
+  check_int "reused cell survived the stale cancel" 2 !fired;
+  check_int "both counted" 2 (Sim.events_processed sim)
+
+(* 2^20 same-time events: sequence numbers stay monotone through pool
+   growth after pool growth, so the fire order is exactly the schedule
+   order. *)
+let test_seq_monotone_2pow20 () =
+  let n = 1 lsl 20 in
+  let sim = Sim.create () in
+  let next = ref 0 in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    Sim.schedule sim ~delay:0 (fun () ->
+        if !next <> i then ok := false;
+        incr next)
+  done;
+  Sim.run sim;
+  check_bool "fired in schedule order" true !ok;
+  check_int "all fired" n (Sim.events_processed sim)
+
+(* A chain of short hops that starts beyond the wheel horizon and then
+   crosses rotation boundaries again and again. *)
+let test_far_then_wheel_chain () =
+  let sim = Sim.create () in
+  let hops = ref 0 in
+  let rec hop () =
+    incr hops;
+    if !hops < 50 then Sim.schedule sim ~delay:9_999 hop
+  in
+  Sim.schedule sim ~delay:70_000 hop;
+  Sim.run sim;
+  check_int "hops" 50 !hops;
+  check_int "final time" (70_000 + (49 * 9_999)) (Sim.now sim)
 
 (* --- proc ------------------------------------------------------------- *)
 
@@ -371,6 +517,10 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_heap_basic;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "growth from empty" `Quick
+            test_heap_growth_from_empty;
+          Alcotest.test_case "pop to empty then reuse" `Quick
+            test_heap_pop_to_empty_then_reuse;
           q prop_heap_sorted;
           q prop_heap_stable_fifo;
           q prop_heap_drain_to_empty;
@@ -383,6 +533,17 @@ let () =
           Alcotest.test_case "nested schedule" `Quick test_sim_nested_schedule;
           Alcotest.test_case "negative delay" `Quick
             test_sim_negative_delay_clamped;
+          Alcotest.test_case "clamp counter" `Quick
+            test_clamped_schedules_counter;
+          Alcotest.test_case "run_until boundary" `Quick
+            test_run_until_boundary;
+          Alcotest.test_case "cancel pending" `Quick test_cancel_pending_timer;
+          Alcotest.test_case "cancel after fire" `Quick
+            test_cancel_after_fire_noop;
+          Alcotest.test_case "seq monotone 2^20" `Quick
+            test_seq_monotone_2pow20;
+          Alcotest.test_case "far-then-wheel chain" `Quick
+            test_far_then_wheel_chain;
           q prop_sim_stable_order;
         ] );
       ( "proc",
