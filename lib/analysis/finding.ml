@@ -1,0 +1,7 @@
+(* The one record every analysis layer emits. Split out of [Lint] so
+   the typed passes ([Typed_rules], over [.cmt] artifacts) and the
+   syntactic pass (over parsetrees) can share it without a dependency
+   cycle: [Lint] orchestrates both and re-exports this type under its
+   historical name. *)
+
+type t = { file : string; line : int; rule : string; msg : string }

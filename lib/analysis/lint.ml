@@ -58,23 +58,45 @@
 
 open Parsetree
 
-type finding = { file : string; line : int; rule : string; msg : string }
+type finding = Finding.t = {
+  file : string;
+  line : int;
+  rule : string;
+  msg : string;
+}
 
-let rule_names =
+(* Per-file syntactic rules, listed separately so the stale-suppression
+   check knows which rules were live on a given run ([lint_source] runs
+   only these; [run ~typed:true] adds the project and typed rules). *)
+let syntactic_rules =
   [
     "determinism";
     "event-wildcard";
-    "event-wiring";
-    "counter-export";
-    "metric-export";
-    "counter-registry";
     "poly-compare";
     "float-equal";
     "no-abort";
     "unused-shadow";
-    "suppress-reason";
-    "parse-error";
   ]
+
+let project_rules =
+  [ "event-wiring"; "counter-export"; "metric-export"; "counter-registry" ]
+
+let typed_rules = [ "zero-alloc"; "cycle-units"; "cmt-drift" ]
+
+(* Meta rules report on the lint apparatus itself and are never
+   suppressible (and never considered stale). *)
+let meta_rules = [ "suppress-reason"; "stale-suppression"; "parse-error" ]
+
+let rule_names = syntactic_rules @ project_rules @ typed_rules @ meta_rules
+
+(* lib/engine/heap_reference.ml is the frozen boxed-record oracle the
+   flat-array heap is differentially tested against (test_engine_diff):
+   the proof of behavioural equality is only as good as the reference
+   staying byte-identical to the version it ran against, so no hygiene
+   rule may ever force an edit to it — and its per-entry allocations
+   are its whole point, so it must never join the zero-alloc manifest
+   either ([Hotpath] documents the same rule from its side). *)
+let hygiene_exempt = [ "lib/engine/heap_reference.ml" ]
 
 let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
 
@@ -341,10 +363,12 @@ let lint_structure ~path ~event_kinds str =
   in
   let det_scope = not (List.mem path determinism_exempt) in
   let apps_scope = String.starts_with ~prefix:"lib/apps/" path in
+  let hygiene_scope = not (List.mem path hygiene_exempt) in
   let poly_scope =
-    List.exists
-      (fun p -> String.starts_with ~prefix:p path)
-      [ "lib/core/"; "lib/rdma/"; "lib/mem/" ]
+    hygiene_scope
+    && List.exists
+         (fun p -> String.starts_with ~prefix:p path)
+         [ "lib/core/"; "lib/rdma/"; "lib/mem/" ]
   in
   let is_float_const e =
     match e.pexp_desc with
@@ -389,7 +413,7 @@ let lint_structure ~path ~event_kinds str =
     | Pexp_apply
         ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
           [ (_, a); (_, b) ] ) ->
-      if is_float_const a || is_float_const b then
+      if hygiene_scope && (is_float_const a || is_float_const b) then
         add e.pexp_loc "float-equal"
           (Printf.sprintf
              "(%s) against a float literal is an exact-bit comparison; test \
@@ -433,7 +457,7 @@ let lint_structure ~path ~event_kinds str =
                 pvb_expr = e2;
                 _ } ],
             _ )
-        when String.equal x y && not (expr_mentions x e2) ->
+        when hygiene_scope && String.equal x y && not (expr_mentions x e2) ->
         add pvb_loc "unused-shadow"
           (Printf.sprintf
              "binding of %s is dead: immediately shadowed by a rebinding \
@@ -532,7 +556,7 @@ let apply_suppressions (sups, sup_finds) findings =
   let kept =
     List.filter
       (fun f ->
-        String.equal f.rule "suppress-reason"
+        List.mem f.rule meta_rules
         || not
              (List.exists
                 (fun (ln, rules) ->
@@ -542,6 +566,39 @@ let apply_suppressions (sups, sup_finds) findings =
   in
   kept @ sup_finds
 
+(* A suppression that no longer matches a finding is debt: the code it
+   excused was fixed or moved, and the comment now silently licenses a
+   future regression on that line. Only rules that were actually live
+   on this run count — a [zero-alloc] suppression is not stale just
+   because the typed pass was skipped. *)
+let stale_suppressions ~path ~active (sups, _) raw =
+  List.concat_map
+    (fun (ln, rules) ->
+      List.filter_map
+        (fun r ->
+          if List.mem r meta_rules || not (List.mem r active) then None
+          else if
+            List.exists
+              (fun f ->
+                String.equal f.rule r
+                && String.equal f.file path
+                && (f.line = ln || f.line = ln + 1))
+              raw
+          then None
+          else
+            Some
+              { file = path;
+                line = ln;
+                rule = "stale-suppression";
+                msg =
+                  Printf.sprintf
+                    "suppression for %s matches no finding on this line; \
+                     delete it or re-justify it"
+                    r;
+              })
+        rules)
+    sups
+
 (* --- per-file entry points ----------------------------------------------- *)
 
 let lint_raw ~event_kinds ~path ~source =
@@ -550,9 +607,46 @@ let lint_raw ~event_kinds ~path ~source =
   | str -> lint_structure ~path ~event_kinds str
 
 let lint_source ?(event_kinds = []) ~path ~source () =
-  apply_suppressions
-    (scan_suppressions ~path source)
-    (lint_raw ~event_kinds ~path ~source)
+  let sups = scan_suppressions ~path source in
+  let raw = lint_raw ~event_kinds ~path ~source in
+  apply_suppressions sups
+    (raw @ stale_suppressions ~path ~active:syntactic_rules sups raw)
+  |> List.sort compare_findings
+
+(* Typed per-file entry point for tests: type [source] in-process (so
+   fixtures can carry local stub modules for [Sim]/[Clock] and need no
+   cmt) and run the typed rules on the result. [manifest] defaults to
+   the real one; fixtures pass a small manifest naming their own
+   functions. Suppressions and staleness work exactly as in
+   [lint_source]. *)
+let lint_typed_source ?(manifest = Hotpath.manifest) ~path ~source () =
+  let sups = scan_suppressions ~path source in
+  let raw =
+    match Typed.type_source ~path ~source with
+    | Error msg ->
+      [ { file = path;
+          line = 1;
+          rule = "parse-error";
+          msg = "file does not type: " ^ msg;
+        } ]
+    | Ok str ->
+      let za =
+        match List.find_opt (fun e -> String.equal e.Hotpath.file path) manifest
+        with
+        | Some entry ->
+          Typed_rules.zero_alloc ~entry ~str ~resolve_unit:(fun _ -> None)
+        | None -> []
+      in
+      let cu =
+        if List.mem path hygiene_exempt then []
+        else Typed_rules.cycle_units ~path ~str
+      in
+      za @ cu
+  in
+  apply_suppressions sups
+    (raw
+    @ stale_suppressions ~path ~active:[ "zero-alloc"; "cycle-units" ] sups raw
+    )
   |> List.sort compare_findings
 
 (* --- project rules -------------------------------------------------------- *)
@@ -761,6 +855,87 @@ let check_counter_registry ~system:(spath, ssrc) =
           else [])
         counters)
 
+(* --- typed layer orchestration -------------------------------------------- *)
+
+(* clock.ml implements the unit conversions themselves: its whole job
+   is mixing [*_us] floats with cycle counts, so the taint pass would
+   flag every line of it. *)
+let cycle_units_exempt = [ "lib/engine/clock.ml" ]
+
+(* Run the typedtree rules over every file a cmt loads for. Returns the
+   findings plus the files whose cmt actually loaded, so staleness
+   knows where the typed rules were live. *)
+let typed_pass ~build_dir sources =
+  let index = Typed.load_index ~build_dir in
+  let drift = ref [] and loaded = ref [] in
+  List.iter
+    (fun (path, source) ->
+      let fail msg =
+        drift := { file = path; line = 1; rule = "cmt-drift"; msg } :: !drift
+      in
+      match Typed.lookup index ~path ~source with
+      | Typed.Loaded str -> loaded := (path, str) :: !loaded
+      | Typed.No_build_dir ->
+        fail
+          (Printf.sprintf
+             "no build directory at %s; run dune build @check before the \
+              typed pass (or pass --no-typed)"
+             build_dir)
+      | Typed.No_cmt ->
+        fail
+          "no .cmt artifact for this file; run dune build @check (plain \
+           builds skip executable cmts)"
+      | Typed.Stale ->
+        fail
+          "the .cmt was compiled from different source (stale build); rerun \
+           dune build @check"
+      | Typed.Unreadable msg ->
+        fail (Printf.sprintf "unreadable .cmt artifact: %s" msg))
+    sources;
+  let loaded = List.rev !loaded in
+  let views : (string, Typed_rules.unit_view) Hashtbl.t = Hashtbl.create 8 in
+  let view ~file str =
+    match Hashtbl.find_opt views file with
+    | Some v -> v
+    | None ->
+      let v =
+        { Typed_rules.uv_file = file;
+          uv_bindings = Typed_rules.structure_bindings str;
+        }
+      in
+      Hashtbl.replace views file v;
+      v
+  in
+  let zero_alloc =
+    List.concat_map
+      (fun (entry : Hotpath.entry) ->
+        match List.assoc_opt entry.file loaded with
+        | None -> [] (* no cmt: already a cmt-drift finding *)
+        | Some str ->
+          let home = Typed.cmt_dir index ~path:entry.file in
+          (* descent stays within the entry's own library: a unit is
+             resolvable iff dune put its cmt in the same .objs dir *)
+          let resolve_unit modname =
+            match (Typed.find_unit index ~modname, home) with
+            | Some info, Some h
+              when String.equal (Filename.dirname info.Typed.cmt_path) h ->
+              Some (view ~file:info.Typed.src info.Typed.structure)
+            | _ -> None
+          in
+          Typed_rules.zero_alloc ~entry ~str ~resolve_unit)
+      Hotpath.manifest
+  in
+  let cycle_units =
+    List.concat_map
+      (fun (path, str) ->
+        if
+          List.mem path cycle_units_exempt || List.mem path hygiene_exempt
+        then []
+        else Typed_rules.cycle_units ~path ~str)
+      loaded
+  in
+  (!drift @ zero_alloc @ cycle_units, List.map fst loaded)
+
 (* --- whole-repo driver ---------------------------------------------------- *)
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
@@ -785,7 +960,13 @@ let collect_files root =
     [ "lib"; "bin" ];
   List.sort String.compare !acc
 
-let run ~root =
+let default_build_dir root =
+  Filename.concat root (Filename.concat "_build" "default")
+
+let run ?(typed = true) ?build_dir ~root () =
+  let build_dir =
+    match build_dir with Some d -> d | None -> default_build_dir root
+  in
   let files = collect_files root in
   let sources =
     List.map (fun f -> (f, read_file (Filename.concat root f))) files
@@ -829,13 +1010,28 @@ let run ~root =
     | Some s -> check_counter_registry ~system:s
     | None -> []
   in
-  let raw = per_file @ wiring @ counters @ metric_export @ counter_registry in
+  let typed_findings, typed_loaded =
+    if typed then typed_pass ~build_dir sources else ([], [])
+  in
+  let raw =
+    per_file @ wiring @ counters @ metric_export @ counter_registry
+    @ typed_findings
+  in
   let final =
     List.concat_map
       (fun (path, source) ->
-        apply_suppressions
-          (scan_suppressions ~path source)
-          (List.filter (fun f -> String.equal f.file path) raw))
+        let sups = scan_suppressions ~path source in
+        let mine = List.filter (fun f -> String.equal f.file path) raw in
+        let active =
+          syntactic_rules @ project_rules
+          @ (if typed then [ "cmt-drift" ] else [])
+          @
+          if typed && List.mem path typed_loaded then
+            [ "zero-alloc"; "cycle-units" ]
+          else []
+        in
+        apply_suppressions sups
+          (mine @ stale_suppressions ~path ~active sups mine))
       sources
   in
   (List.length files, List.sort compare_findings final)

@@ -1,11 +1,19 @@
 (** adios-lint: domain-specific static analysis enforcing this repo's
     determinism boundary, [Event.kind] wiring, counter/export
-    consistency and a few hygiene rules. Purely syntactic
-    (compiler-libs parsetrees, no typing), tuned to the codebase's
-    idioms; see lint.ml's header comment for the rule catalogue and
-    DESIGN.md for why each invariant is machine-enforced. *)
+    consistency and a few hygiene rules — plus a typedtree-backed layer
+    ([zero-alloc], [cycle-units], [cmt-drift]) that loads the [.cmt]
+    artifacts dune leaves under [_build] (see {!Typed} and
+    {!Typed_rules}). The syntactic rules need no build; the typed rules
+    need [dune build @check] first. See lint.ml's header comment for
+    the rule catalogue and DESIGN.md for why each invariant is
+    machine-enforced. *)
 
-type finding = { file : string; line : int; rule : string; msg : string }
+type finding = Finding.t = {
+  file : string;
+  line : int;
+  rule : string;
+  msg : string;
+}
 
 val rule_names : string list
 (** Every rule the pass can emit, including the [suppress-reason] and
@@ -58,7 +66,28 @@ val check_counter_registry : system:string * string -> finding list
     must be projected inside the [register_metrics] binding, so a new
     counter cannot be added without registering it. *)
 
-val run : root:string -> int * finding list
+val lint_typed_source :
+  ?manifest:Hotpath.entry list ->
+  path:string ->
+  source:string ->
+  unit ->
+  finding list
+(** Type [source] in-process (no cmt needed: fixtures carry local stub
+    modules for [Sim]/[Clock]) and run the typed rules on it:
+    [zero-alloc] if [path] has a [manifest] entry (default: the real
+    {!Hotpath.manifest}), and [cycle-units] unless [path] is exempt.
+    Suppressions and the [stale-suppression] check are honoured. A
+    source that fails to type is a [parse-error] finding. *)
+
+val run :
+  ?typed:bool -> ?build_dir:string -> root:string -> unit -> int * finding list
 (** Lint every [.ml] under [root/lib] and [root/bin] (skipping [_build]
     and dotted directories), apply the cross-file rules, honour
-    suppressions, and return (files checked, sorted findings). *)
+    suppressions, and return (files checked, sorted findings).
+
+    With [typed] (the default), additionally load the [.cmt] artifacts
+    under [build_dir] (default [root/_build/default]) and run the
+    typedtree rules: [cmt-drift] demands a loadable, digest-current cmt
+    for every scanned file — so an unbuilt tree fails loudly rather
+    than silently skipping the typed layer; pass [~typed:false] for a
+    syntax-only run (the pre-build CI step). *)

@@ -56,6 +56,7 @@ type result = {
   lost_writes : int;
   dead_reads : int;
   sim_events : int;
+  clamped_schedules : int;
   cpu : Accountant.snapshot;
   cpu_app_share : float;
   cpu_pf_sw_share : float;
@@ -262,6 +263,7 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
     lost_writes = Cluster.lost_writes cluster;
     dead_reads = Cluster.dead_reads cluster;
     sim_events = Sim.events_processed sim;
+    clamped_schedules = Sim.clamped_schedules sim;
     cpu;
     cpu_app_share = share Accountant.App_compute;
     cpu_pf_sw_share = share Accountant.Pf_software;

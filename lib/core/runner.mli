@@ -51,6 +51,10 @@ type result = {
   lost_writes : int;  (** write-backs dropped: every replica dead *)
   dead_reads : int;  (** fetches posted with every replica dead *)
   sim_events : int;  (** simulator events processed (bench denominator) *)
+  clamped_schedules : int;
+      (** past-deadline schedules clamped to [now] by the engine; a
+          drift here means a latency model started producing negative
+          delays *)
   cpu : Adios_obs.Accountant.snapshot;
       (** per-CPU time-in-state accounting over the whole run (workers
           first, dispatcher last); plain data, safe to marshal across

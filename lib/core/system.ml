@@ -1094,6 +1094,9 @@ let register_metrics t reg ~labels =
       float_of_int (ready_backlog t));
   gauge "adios_sys_busy_workers" "Workers currently not idle" (fun () ->
       float_of_int (busy_workers t));
+  counter "adios_sim_clamped_schedules_total"
+    "Past-deadline schedules clamped to now by the engine" (fun () ->
+      Sim.clamped_schedules t.sim);
   Nic.register_metrics t.nic reg ~labels;
   Pager.register_metrics t.pager reg ~labels;
   (match t.reclaimer with

@@ -286,18 +286,23 @@ let wheel_unlink_head sim s =
   c
 
 (* First occupied slot at circular distance >= 0 from [p0]; the caller
-   guarantees at least one bit is set. *)
+   guarantees at least one bit is set. A while loop rather than an inner
+   recursive function: a local [let rec] capturing [sim] is a closure
+   allocation on the hottest path in the engine (the zero-alloc lint
+   rule walks this body). *)
 let wheel_scan sim p0 =
   let w0 = p0 lsr 5 in
   let bits = Array.unsafe_get sim.bitmap w0 lsr (p0 land 31) in
   if bits <> 0 then (p0 + ctz32 bits) land wheel_mask
   else begin
-    let rec go k =
-      let w = (w0 + k) land (word_count - 1) in
+    let k = ref 1 in
+    let found = ref (-1) in
+    while !found < 0 do
+      let w = (w0 + !k) land (word_count - 1) in
       let b = Array.unsafe_get sim.bitmap w in
-      if b <> 0 then (w lsl 5) + ctz32 b else go (k + 1)
-    in
-    go 1
+      if b <> 0 then found := (w lsl 5) + ctz32 b else incr k
+    done;
+    !found
   end
 
 (* Earliest live wheel time ([max_int] when drained), purging cancelled
@@ -310,15 +315,17 @@ let rec wheel_peek sim =
     let p0 = base land wheel_mask in
     let s = wheel_scan sim p0 in
     let t = base + ((s - p0) land wheel_mask) in
-    let rec purge () =
+    (* purge cancelled cells at the slot head; a loop, not an inner
+       closure, for the same zero-alloc reason as [wheel_scan] *)
+    let purging = ref true in
+    while !purging do
       let c = Array.unsafe_get sim.slots s in
       if c >= 0 && cell_dead sim c then begin
         ignore (wheel_unlink_head sim s);
-        free_cell sim c;
-        purge ()
+        free_cell sim c
       end
-    in
-    purge ();
+      else purging := false
+    done;
     if Array.unsafe_get sim.slots s < 0 then begin
       (* the slot held only cancelled cells: advance past it and rescan *)
       sim.wh_floor <- t + 1;

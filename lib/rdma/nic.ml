@@ -112,6 +112,7 @@ let deliver_wr qp wr ~lost =
         ~kind:Adios_trace.Event.Cqe ~req:Adios_trace.Event.none
         ~worker:qp.qp_id ~page:wr.wr_id;
     Verbs.Cq.push wr.cq
+      (* lint: allow zero-alloc -- the completion record IS the CQ's payload: the documented budget is "nothing beyond the completion records themselves" *)
       {
         Verbs.wr_id = wr.wr_id;
         opcode = wr.opcode;

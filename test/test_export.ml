@@ -55,6 +55,7 @@ let golden_columns =
     "cpu_dispatch_share";
     "cpu_tx_share";
     "cpu_idle_share";
+    "clamped_schedules";
   ]
 
 (* The cluster-topology block appended to clustered datasets only

@@ -19,6 +19,11 @@ let check_fires msg rule fs = check_bool msg true (fires rule fs)
 let check_clean msg fs =
   check (Alcotest.list Alcotest.string) msg [] (List.map Lint.to_string fs)
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
 (* Every fixture below targets a rule name that must actually exist. *)
 let test_rule_names () =
   List.iter
@@ -34,6 +39,10 @@ let test_rule_names () =
       "float-equal";
       "no-abort";
       "unused-shadow";
+      "zero-alloc";
+      "cycle-units";
+      "cmt-drift";
+      "stale-suppression";
       "suppress-reason";
       "parse-error";
     ]
@@ -188,6 +197,199 @@ let test_suppression_only_named_rule () =
   check_fires "a suppression only covers the rules it names" "poly-compare"
     (lint ~path:"lib/core/x.ml" src)
 
+let test_suppression_multiline () =
+  (* the finding anchors at the expression's first line, so a comment
+     directly above suppresses it even when the expression continues
+     over several more lines *)
+  let src =
+    Printf.sprintf
+      "let f () =\n\
+      \  (* %s no-abort -- fixture *)\n\
+      \  failwith\n\
+      \    (String.concat \",\" [ \"a\"; \"b\" ])"
+      allow
+  in
+  check_clean "comment above a multi-line expression suppresses it"
+    (lint ~path:"lib/apps/foo.ml" src)
+
+let test_suppression_unknown_among_known () =
+  (* one bad rule name poisons the whole comment: nothing is suppressed,
+     so the typo cannot silently widen what the author meant to allow *)
+  let src =
+    Printf.sprintf "let f () = failwith \"x\" (* %s no-abort, nonsense -- r *)"
+      allow
+  in
+  let fs = lint ~path:"lib/apps/foo.ml" src in
+  check_fires "unknown rule is rejected" "suppress-reason" fs;
+  check_fires "and the known rule in the same comment suppresses nothing"
+    "no-abort" fs
+
+(* --- stale-suppression -------------------------------------------------- *)
+
+let test_stale_suppression () =
+  let src = Printf.sprintf "let f () = 1 (* %s no-abort -- obsolete *)" allow in
+  check_fires "suppression with no matching finding is stale"
+    "stale-suppression"
+    (lint ~path:"lib/apps/foo.ml" src);
+  let live =
+    Printf.sprintf "let f () = failwith \"x\" (* %s no-abort -- fixture *)" allow
+  in
+  check_bool "a live suppression is not stale" false
+    (fires "stale-suppression" (lint ~path:"lib/apps/foo.ml" live))
+
+let test_stale_suppression_inactive_rule () =
+  (* a zero-alloc suppression is typed-layer business: a syntax-only run
+     must not call it stale just because the typed pass was skipped *)
+  let src =
+    Printf.sprintf "let f () = 1 (* %s zero-alloc -- typed-layer fixture *)"
+      allow
+  in
+  check_bool "typed rules are not active on a syntactic run" false
+    (fires "stale-suppression" (lint ~path:"lib/core/x.ml" src))
+
+(* --- typed rules: zero-alloc ------------------------------------------- *)
+
+let tlint ?manifest ~path source =
+  Lint.lint_typed_source ?manifest ~path ~source ()
+
+let manifest_of ~file ?(cold = []) functions =
+  [ { Adios_analysis.Hotpath.file; functions; cold } ]
+
+let test_zero_alloc_fires () =
+  (* the planted fixture: an allocation inside a manifest function must
+     produce exactly the expected finding *)
+  let fs =
+    tlint
+      ~manifest:(manifest_of ~file:"lib/engine/sim.ml" [ "schedule" ])
+      ~path:"lib/engine/sim.ml" "let schedule q x = ignore q; Some x"
+  in
+  check_int "exactly one finding" 1 (List.length fs);
+  let f = List.hd fs in
+  check_string "rule" "zero-alloc" f.Lint.rule;
+  check_bool "names the constructor" true (contains_sub f.Lint.msg "Some")
+
+let test_zero_alloc_clean () =
+  check_clean "integer arithmetic and mutation are free"
+    (tlint
+       ~manifest:(manifest_of ~file:"lib/engine/sim.ml" [ "schedule" ])
+       ~path:"lib/engine/sim.ml"
+       "let r = ref 0\nlet schedule q d = ignore q; r := !r + d; !r land 31")
+
+let test_zero_alloc_descent () =
+  (* one level into a same-unit helper: the hot function cannot
+     outsource its allocation *)
+  let src = "let helper x = [ x ]\nlet schedule q = helper q" in
+  check_fires "allocation in a direct callee is found" "zero-alloc"
+    (tlint
+       ~manifest:(manifest_of ~file:"lib/engine/sim.ml" [ "schedule" ])
+       ~path:"lib/engine/sim.ml" src);
+  check_clean "cold-listed callees are exempt (slow paths allocate by design)"
+    (tlint
+       ~manifest:
+         (manifest_of ~file:"lib/engine/sim.ml" ~cold:[ "helper" ]
+            [ "schedule" ])
+       ~path:"lib/engine/sim.ml" src)
+
+let test_zero_alloc_error_path () =
+  check_clean "error paths may allocate their exception"
+    (tlint
+       ~manifest:(manifest_of ~file:"lib/engine/sim.ml" [ "schedule" ])
+       ~path:"lib/engine/sim.ml"
+       "let schedule q d =\n\
+       \  if d < 0 then invalid_arg (string_of_int d);\n\
+       \  q + d")
+
+let test_zero_alloc_manifest_drift () =
+  check_fires "a manifest entry naming a vanished function is a finding"
+    "zero-alloc"
+    (tlint
+       ~manifest:(manifest_of ~file:"lib/engine/sim.ml" [ "gone" ])
+       ~path:"lib/engine/sim.ml" "let schedule q = q")
+
+let test_zero_alloc_suppressible () =
+  let src =
+    Printf.sprintf
+      "let schedule q x =\n\
+      \  ignore q;\n\
+      \  (* %s zero-alloc -- fixture: documented payload *)\n\
+      \  Some x"
+      allow
+  in
+  check_clean "a reasoned suppression silences the typed rule"
+    (tlint
+       ~manifest:(manifest_of ~file:"lib/engine/sim.ml" [ "schedule" ])
+       ~path:"lib/engine/sim.ml" src)
+
+(* --- typed rules: cycle-units ------------------------------------------ *)
+
+let sim_stub =
+  "module Sim = struct\n\
+  \  let schedule_at s t f = ignore s; ignore t; f ()\n\
+  \  let schedule s ~delay f = ignore s; ignore delay; f ()\n\
+   end\n"
+
+let test_cycle_units_sink () =
+  (* the planted fixture: a raw *_us float reaching Sim.schedule_at must
+     produce exactly the expected finding *)
+  let fs =
+    tlint ~path:"lib/core/x.ml"
+      (sim_stub
+     ^ "let bad sim t_us = Sim.schedule_at sim (int_of_float t_us) (fun () -> \
+        ())")
+  in
+  check_int "exactly one finding" 1 (List.length fs);
+  let f = List.hd fs in
+  check_string "rule" "cycle-units" f.Lint.rule;
+  check_bool "points at the conversion" true
+    (contains_sub f.Lint.msg "Clock.of_us")
+
+let test_cycle_units_literal () =
+  check_fires "a float literal funnelled into a cycles position"
+    "cycle-units"
+    (tlint ~path:"lib/core/x.ml"
+       (sim_stub ^ "let bad sim = Sim.schedule_at sim (int_of_float 5.0) (fun () -> ())"))
+
+let test_cycle_units_label () =
+  check_fires "~delay is a cycles position everywhere" "cycle-units"
+    (tlint ~path:"lib/core/x.ml"
+       (sim_stub
+      ^ "let bad sim t_us = Sim.schedule sim ~delay:(int_of_float t_us) (fun \
+         () -> ())"))
+
+let test_cycle_units_sanitized () =
+  let clock_stub =
+    "module Clock = struct\n\
+    \  type cycles = int\n\
+    \  let of_us (u : float) : cycles = int_of_float u\n\
+     end\n"
+  in
+  check_clean "Clock.of_us launders microseconds"
+    (tlint ~path:"lib/core/x.ml"
+       (clock_stub ^ sim_stub
+      ^ "let good sim t_us = Sim.schedule_at sim (Clock.of_us t_us) (fun () -> \
+         ())"));
+  check_clean "a toplevel alias of the sanitizer works too (params.ml's c)"
+    (tlint ~path:"lib/core/x.ml"
+       (clock_stub ^ sim_stub ^ "let c = Clock.of_us\n"
+      ^ "let good sim t_us = Sim.schedule_at sim (c t_us) (fun () -> ())"))
+
+let test_cycle_units_mixing () =
+  let src =
+    "module Clock = struct type cycles = int end\n\
+     let bad (c : Clock.cycles) x_us = c + int_of_float x_us"
+  in
+  check_fires "arithmetic mixing cycles with *_us" "cycle-units"
+    (tlint ~path:"lib/core/x.ml" src);
+  check_clean "cycles-only arithmetic is fine"
+    (tlint ~path:"lib/core/x.ml"
+       "module Clock = struct type cycles = int end\n\
+        let good (c : Clock.cycles) (d : Clock.cycles) = c + d")
+
+let test_typed_source_must_type () =
+  check_fires "a fixture that does not type is a finding, not a crash"
+    "parse-error"
+    (tlint ~path:"lib/core/x.ml" "let f x = x + 1.0")
+
 (* --- event wiring (cross-file) ----------------------------------------- *)
 
 let event_src =
@@ -205,11 +407,6 @@ let wiring ~chrome ~checker =
 
 let test_event_wiring_clean () =
   check_clean "fully wired kinds" (wiring ~chrome:chrome_full ~checker:checker_full)
-
-let contains_sub s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
-  go 0
 
 let test_event_wiring_missing () =
   (* Beta missing from the exporter: the simulated "added a constructor
@@ -362,10 +559,26 @@ let test_repo_lints_clean () =
   match repo_root () with
   | None -> Alcotest.fail "repository root not found from cwd"
   | Some root ->
-    let nfiles, findings = Lint.run ~root in
+    (* typed on: the dune deps on @check guarantee current cmts, so this
+       is the same gate CI's post-build lint step enforces *)
+    let nfiles, findings = Lint.run ~root () in
     check_bool "scanned the whole tree" true (nfiles >= 40);
     check (Alcotest.list Alcotest.string) "repo is lint-clean" []
       (List.map Lint.to_string findings)
+
+let test_cmt_drift_loud () =
+  match repo_root () with
+  | None -> Alcotest.fail "repository root not found from cwd"
+  | Some root ->
+    (* a typed run against a build dir that does not exist must complain
+       per file, not silently degrade to the syntactic subset *)
+    let _, findings =
+      Lint.run ~root ~build_dir:(Filename.concat root "_no_such_build") ()
+    in
+    check_fires "missing build dir reports cmt-drift" "cmt-drift" findings;
+    let _, syntactic = Lint.run ~root ~typed:false () in
+    check_bool "and --no-typed opts out of it" false
+      (fires "cmt-drift" syntactic)
 
 let () =
   Alcotest.run "lint"
@@ -401,6 +614,36 @@ let () =
           Alcotest.test_case "reason required" `Quick test_suppression_needs_reason;
           Alcotest.test_case "unknown rule" `Quick test_suppression_unknown_rule;
           Alcotest.test_case "rule-scoped" `Quick test_suppression_only_named_rule;
+          Alcotest.test_case "multi-line expression" `Quick
+            test_suppression_multiline;
+          Alcotest.test_case "unknown among known" `Quick
+            test_suppression_unknown_among_known;
+          Alcotest.test_case "stale flagged" `Quick test_stale_suppression;
+          Alcotest.test_case "stale needs an active rule" `Quick
+            test_stale_suppression_inactive_rule;
+        ] );
+      ( "zero-alloc",
+        [
+          Alcotest.test_case "allocation in manifest fn" `Quick
+            test_zero_alloc_fires;
+          Alcotest.test_case "clean hot code" `Quick test_zero_alloc_clean;
+          Alcotest.test_case "one-level descent" `Quick test_zero_alloc_descent;
+          Alcotest.test_case "error paths exempt" `Quick
+            test_zero_alloc_error_path;
+          Alcotest.test_case "manifest drift" `Quick
+            test_zero_alloc_manifest_drift;
+          Alcotest.test_case "suppressible" `Quick test_zero_alloc_suppressible;
+        ] );
+      ( "cycle-units",
+        [
+          Alcotest.test_case "raw us to schedule_at" `Quick
+            test_cycle_units_sink;
+          Alcotest.test_case "float literal" `Quick test_cycle_units_literal;
+          Alcotest.test_case "~delay label" `Quick test_cycle_units_label;
+          Alcotest.test_case "sanitizers" `Quick test_cycle_units_sanitized;
+          Alcotest.test_case "unit mixing" `Quick test_cycle_units_mixing;
+          Alcotest.test_case "fixture must type" `Quick
+            test_typed_source_must_type;
         ] );
       ( "wiring",
         [
@@ -433,5 +676,9 @@ let () =
             test_counter_registry_blind;
         ] );
       ( "self-check",
-        [ Alcotest.test_case "repository lints clean" `Quick test_repo_lints_clean ] );
+        [
+          Alcotest.test_case "repository lints clean" `Quick
+            test_repo_lints_clean;
+          Alcotest.test_case "cmt drift is loud" `Quick test_cmt_drift_loud;
+        ] );
     ]
