@@ -74,6 +74,7 @@ let sweep ?(cfg_tweak = fun c -> c) systems app loads ~requests =
         fetch_timeout_us = 0.;
         fetch_retries = 3;
         local_ratio = None;
+        workers = None;
         clusters = [ Adios_cluster.Cluster.default ];
       }
   in

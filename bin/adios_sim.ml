@@ -17,7 +17,7 @@ module Checker = Adios_trace.Checker
 module Registry = Adios_obs.Registry
 module Openmetrics = Adios_obs.Openmetrics
 
-let system_names = [ "adios"; "dilos"; "dilos-p"; "hermit" ]
+let system_names = [ "adios"; "dilos"; "dilos-p"; "hermit"; "steal" ]
 
 let system_conv =
   let parse = function
@@ -25,6 +25,7 @@ let system_conv =
     | "dilos-p" | "dilosp" -> Ok Config.Dilos_p
     | "adios" -> Ok Config.Adios
     | "hermit" -> Ok Config.Hermit
+    | "steal" -> Ok Config.Steal
     | s ->
       Error
         (`Msg

@@ -17,20 +17,26 @@ module Oracle = Adios_exp.Oracle
 module Bench = Adios_exp.Bench
 
 (* The oracle bundle a spec must pass: clustered sweeps trade the
-   multi-system shape checks for the failover and replication gates. *)
+   multi-system shape checks for the failover and replication gates;
+   sweeps carrying the Steal system swap the Adios-first ranking for the
+   steal-activity and tail-regime gates. *)
 let bundle spec ?k ds =
-  if Spec.clustered spec then Oracle.check_cluster ds else Oracle.check_all ?k ds
+  if Spec.clustered spec then Oracle.check_cluster ds
+  else if List.mem Config.Steal spec.Spec.systems then Oracle.check_steal ?k ds
+  else Oracle.check_all ?k ds
 
 let system_of_name = function
   | "dilos" -> Ok Config.Dilos
   | "dilos-p" | "dilosp" -> Ok Config.Dilos_p
   | "adios" -> Ok Config.Adios
   | "hermit" -> Ok Config.Hermit
+  | "steal" -> Ok Config.Steal
   | s ->
     Error
       (`Msg
          (Printf.sprintf "unknown system %S (valid: %s)" s
-            (String.concat ", " [ "adios"; "dilos"; "dilos-p"; "hermit" ])))
+            (String.concat ", "
+               [ "adios"; "dilos"; "dilos-p"; "hermit"; "steal" ])))
 
 let comma_list conv_one =
   let parse s =
@@ -133,14 +139,14 @@ let progress_line quiet point r =
     Report.result_line r
   end
 
-let regen_golden dir jobs quiet =
+let regen_golden dir jobs mode quiet =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Format.eprintf "adios_sweep: golden directory %s does not exist@." dir;
     exit 1
   end;
   List.iter
     (fun spec ->
-      let run = Sweep.run ~jobs ~progress:(progress_line quiet) spec in
+      let run = Sweep.run ~jobs ~mode ~progress:(progress_line quiet) spec in
       let ds = Dataset.of_run ~cluster:(Spec.clustered spec) run in
       (match bundle spec ds with
       | [] -> ()
@@ -167,13 +173,13 @@ let regen_golden dir jobs quiet =
    current one and the old snapshot is appended to its history, so the
    trajectory is never lost. [baseline], if given, gates the run on the
    deterministic [sim_events] of another bench file (never on time). *)
-let bench path jobs quiet label baseline =
+let bench path jobs mode quiet label baseline =
   let sweeps =
     List.map
       (fun (spec : Spec.t) ->
         (* lint: allow determinism -- wall-clock benchmark timing, not in a dataset *)
         let t0 = Unix.gettimeofday () in
-        let run = Sweep.run ~jobs ~progress:(progress_line quiet) spec in
+        let run = Sweep.run ~jobs ~mode ~progress:(progress_line quiet) spec in
         (* lint: allow determinism -- same benchmark timing *)
         let wall = Unix.gettimeofday () -. t0 in
         let events =
@@ -225,13 +231,13 @@ let bench path jobs quiet label baseline =
         Format.eprintf "adios_sweep: bench baseline: %s@." msg;
         1))
 
-let run spec_name systems apps loads requests seed jobs out golden oracle
+let run spec_name systems apps loads requests seed jobs mode out golden oracle
     knee_k json quiet regen bench_out bench_label bench_baseline =
   match (regen, bench_out) with
   | Some dir, _ ->
-    regen_golden dir jobs quiet;
+    regen_golden dir jobs mode quiet;
     0
-  | None, Some path -> bench path jobs quiet bench_label bench_baseline
+  | None, Some path -> bench path jobs mode quiet bench_label bench_baseline
   | None, None ->
     let spec =
       match spec_name with
@@ -261,7 +267,7 @@ let run spec_name systems apps loads requests seed jobs out golden oracle
     let t0 = Unix.gettimeofday () in
     let ds =
       Dataset.of_run ~cluster:(Spec.clustered spec)
-        (Sweep.run ~jobs ~progress:(progress_line quiet) spec)
+        (Sweep.run ~jobs ~mode ~progress:(progress_line quiet) spec)
     in
     if not quiet then
       Format.printf "sweep %s: %d rows in %.1fs@." spec.Spec.name
@@ -299,9 +305,10 @@ let spec_arg =
     & info [ "spec" ] ~docv:"NAME"
         ~doc:
           "Run a canonical reduced-scale spec (array-reduced, \
-           memcached-reduced, rocksdb-scan-reduced, cluster-reduced) \
-           instead of building one from the grid flags. These are the \
-           specs the checked-in goldens were generated from.")
+           memcached-reduced, rocksdb-scan-reduced, cluster-reduced, \
+           steal-reduced) instead of building one from the grid flags. \
+           These are the specs the checked-in goldens were generated \
+           from.")
 
 let systems_arg =
   let systems_conv =
@@ -315,7 +322,9 @@ let systems_arg =
     value
     & opt systems_conv [ Config.Hermit; Config.Dilos; Config.Dilos_p; Config.Adios ]
     & info [ "systems" ] ~docv:"LIST"
-        ~doc:"Comma-separated systems to sweep (default: all four).")
+        ~doc:
+          "Comma-separated systems to sweep (default: the four paper \
+           systems; add 'steal' for the work-stealing variant).")
 
 let apps_arg =
   Arg.(
@@ -355,8 +364,18 @@ let jobs_arg =
     value & opt int 1
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
-          "Run up to N points in parallel worker processes (1 = \
-           in-process). Results are identical either way.")
+          "Run up to N points in parallel (1 = in-process sequential). \
+           Results are identical either way.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("fork", `Fork); ("domains", `Domains) ]) `Fork
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Parallel backend when --jobs exceeds 1: 'fork' spawns worker \
+           processes, 'domains' runs a work-stealing domain pool in this \
+           process. Results are byte-identical across backends.")
 
 let out_arg =
   Arg.(
@@ -408,9 +427,9 @@ let regen_arg =
     & info [ "regen-golden" ] ~docv:"DIR"
         ~doc:
           "Re-run every golden spec (the reduced sweeps plus \
-           cluster-reduced) and rewrite DIR/<name>.csv (normally \
-           test/golden). Refuses to write a golden that fails its own \
-           oracles.")
+           cluster-reduced and steal-reduced) and rewrite DIR/<name>.csv \
+           (normally test/golden). Refuses to write a golden that fails \
+           its own oracles.")
 
 let bench_arg =
   Arg.(
@@ -448,8 +467,8 @@ let cmd =
     (Cmd.info "adios_sweep" ~doc)
     Term.(
       const run $ spec_arg $ systems_arg $ apps_arg $ loads_arg $ requests_arg
-      $ seed_arg $ jobs_arg $ out_arg $ golden_arg $ oracle_arg $ knee_k_arg
-      $ json_arg $ quiet_arg $ regen_arg $ bench_arg $ bench_label_arg
-      $ bench_baseline_arg)
+      $ seed_arg $ jobs_arg $ mode_arg $ out_arg $ golden_arg $ oracle_arg
+      $ knee_k_arg $ json_arg $ quiet_arg $ regen_arg $ bench_arg
+      $ bench_label_arg $ bench_baseline_arg)
 
 let () = exit (Cmd.eval' cmd)

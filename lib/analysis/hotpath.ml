@@ -82,6 +82,14 @@ let manifest =
       functions = [ "deliver_wr" ];
       cold = [];
     };
+    { file = "lib/par/deque.ml";
+      (* the work-stealing deque's per-task operations: the domain pool
+         calls these once per spawned/stolen task, and an allocation
+         here would put GC pressure on every worker domain at once.
+         [create] allocates the ring by design and is not listed. *)
+      functions = [ "push"; "pop_into"; "steal_into"; "size" ];
+      cold = [];
+    };
   ]
 
 let entry_for file =

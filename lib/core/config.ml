@@ -1,10 +1,11 @@
-type system = Dilos | Dilos_p | Adios | Hermit
+type system = Dilos | Dilos_p | Adios | Hermit | Steal
 
 let system_name = function
   | Dilos -> "DiLOS"
   | Dilos_p -> "DiLOS-P"
   | Adios -> "Adios"
   | Hermit -> "Hermit"
+  | Steal -> "Steal"
 
 type dispatch = Pf_aware | Round_robin | Partitioned | Work_stealing
 
@@ -48,10 +49,16 @@ type t = {
 }
 
 let default system =
-  let adios = system = Adios in
+  (* Steal is Adios's yield-based protocol on distributed run queues:
+     everything matches Adios except the dispatch policy. *)
+  let adios = match system with Adios | Steal -> true | _ -> false in
   {
     system;
-    dispatch = (if adios then Pf_aware else Round_robin);
+    dispatch =
+      (match system with
+      | Adios -> Pf_aware
+      | Steal -> Work_stealing
+      | Dilos | Dilos_p | Hermit -> Round_robin);
     tx_mode = (if adios then Tx_delegated else Tx_deferred);
     prefetch = No_prefetch;
     workers = Params.workers;

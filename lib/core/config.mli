@@ -6,6 +6,12 @@ type system =
   | Dilos_p  (** DiLOS plus Concord-style 5 us preemptive scheduling *)
   | Adios  (** yield-based handling with unithreads *)
   | Hermit  (** kernel-based busy-waiting MD *)
+  | Steal
+      (** Adios's yield-based protocol on per-CPU run queues: arrivals
+          are sprayed round-robin, idle CPUs steal both queued arrivals
+          and blocked-then-resumed requests from siblings — the
+          distributed-dispatch contrast to the paper's centralized
+          Algorithm 1 (cf. the scheduling studies in Atlas and MIND) *)
 
 val system_name : system -> string
 

@@ -69,10 +69,13 @@ let fields : (string * (Runner.result -> string)) list =
       fun r -> Printf.sprintf "%.4f" r.Runner.cpu_dispatch_share );
     ("cpu_tx_share", fun r -> Printf.sprintf "%.4f" r.Runner.cpu_tx_share);
     ("cpu_idle_share", fun r -> Printf.sprintf "%.4f" r.Runner.cpu_idle_share);
-    (* appended last (column 44): engine-level clamp diagnostics, so the
+    (* appended (column 44): engine-level clamp diagnostics, so the
        CPU block and every earlier prefix keep their positions *)
     ( "clamped_schedules",
       fun r -> string_of_int r.Runner.clamped_schedules );
+    (* appended last (column 45): sibling-queue steals (Work-Stealing
+       dispatch / the Steal system; 0 for every other configuration) *)
+    ("steals", fun r -> string_of_int r.Runner.steals);
   ]
 
 let column_names = List.map fst fields

@@ -47,6 +47,7 @@ type result = {
   retries_hwm : int;
   faults_injected : int;
   drops_qp : int;
+  steals : int;
   nodes : int;
   replication : int;
   crashes : int;
@@ -254,6 +255,7 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
     retries_hwm = counters.System.retries_hwm;
     faults_injected = System.faults_injected system;
     drops_qp = counters.System.drops_qp;
+    steals = counters.System.steals;
     nodes = Cluster.node_count cluster;
     replication = (Cluster.config cluster).Cluster.replication;
     crashes = (Cluster.config cluster).Cluster.crashes;

@@ -42,6 +42,9 @@ type result = {
   retries_hwm : int;  (** most reposts any single fetch needed *)
   faults_injected : int;  (** completions dropped/delayed by the injector *)
   drops_qp : int;  (** prefetch posts refused by a full QP *)
+  steals : int;
+      (** requests taken from sibling workers' local/ready queues
+          (Work-Stealing dispatch and the Steal system; 0 elsewhere) *)
   nodes : int;  (** memory nodes in the topology *)
   replication : int;  (** configured copies per page *)
   crashes : int;  (** scheduled node crashes *)

@@ -42,6 +42,7 @@ type counters = {
   mutable fetch_retries : int;
   mutable retries_hwm : int;
   mutable drops_qp : int;
+  mutable steals : int;
 }
 
 type entry = {
@@ -157,7 +158,7 @@ let busy_workers t =
 let is_busywait cfg =
   match cfg.Config.system with
   | Config.Dilos | Config.Dilos_p | Config.Hermit -> true
-  | Config.Adios -> false
+  | Config.Adios | Config.Steal -> false
 
 (* Drain a CQ, executing the per-completion callbacks immediately: a
    spinning poller sees its CQE the moment it arrives; yield-mode
@@ -194,16 +195,26 @@ let spin_on_inflight t e page =
   acct_entry t e Acct.Pf_software;
   comps.rdma <- comps.rdma + (Sim.now t.sim - start)
 
+(* Make a blocked-then-resumed entry runnable again: push it on its
+   worker's ready queue and wake that worker. Under the Steal system
+   the ready queues are steal targets, so idle siblings are woken too —
+   one of them may grab the entry before the (busy) owner gets to it. *)
+let enqueue_ready t (w : worker) e =
+  e.ready_at <- Sim.now t.sim;
+  Queue.push e w.ready;
+  Proc.Gate.signal w.gate;
+  if t.cfg.Config.system = Config.Steal then
+    Array.iter
+      (fun s -> if s.idle && s.wid <> w.wid then Proc.Gate.signal s.gate)
+      t.workers
+
 (* Yield until [page]'s in-flight fetch completes; the completion pushes
    us on our worker's ready queue and the worker switches back. *)
 let yield_on_inflight t e page =
   let comps = e.req.Request.comps in
   let start = Sim.now t.sim in
   let w = match e.worker with Some w -> w | None -> assert false in
-  Pager.add_waiter t.pager page (fun () ->
-      e.ready_at <- Sim.now t.sim;
-      Queue.push e w.ready;
-      Proc.Gate.signal w.gate);
+  Pager.add_waiter t.pager page (fun () -> enqueue_ready t w e);
   Task.suspend ();
   comps.rdma <- comps.rdma + (e.ready_at - start)
 
@@ -326,7 +337,7 @@ and fault t e page =
     +
     match t.cfg.Config.system with
     | Config.Hermit -> Params.hermit_fault_extra_cycles
-    | Config.Dilos | Config.Dilos_p | Config.Adios -> 0
+    | Config.Dilos | Config.Dilos_p | Config.Adios | Config.Steal -> 0
   in
   charge_pf t e sw;
   let w = match e.worker with Some w -> w | None -> assert false in
@@ -467,11 +478,7 @@ and fault t e page =
     else begin
       (* Adios: issue and yield (Fig. 5 steps 4-5, 8-10). *)
       let start = Sim.now t.sim in
-      waker :=
-        (fun () ->
-          e.ready_at <- Sim.now t.sim;
-          Queue.push e w.ready;
-          Proc.Gate.signal w.gate);
+      waker := (fun () -> enqueue_ready t w e);
       post_attempt ~blocking:true 0;
       if !outcome = `Pending then Task.suspend ();
       comps.rdma <- comps.rdma + (e.ready_at - start)
@@ -519,7 +526,7 @@ let make_ctx t e =
         e.preempted <- true;
         Task.suspend ()
       end
-    | Config.Dilos | Config.Adios | Config.Hermit -> ()
+    | Config.Dilos | Config.Adios | Config.Hermit | Config.Steal -> ()
   in
   let view =
     View.make t.arena ~touch:(fun ~addr ~len ~write ->
@@ -628,7 +635,7 @@ let run_entry t w e =
         in
         charge_compute e (Params.hermit_jitter_min_cycles + Rng.int t.rng span)
       end
-    | Config.Dilos | Config.Dilos_p | Config.Adios -> ());
+    | Config.Dilos | Config.Dilos_p | Config.Adios | Config.Steal -> ());
     e.quantum_start <- Sim.now t.sim;
     let ctx = make_ctx t e in
     let task =
@@ -682,7 +689,40 @@ let try_steal t (w : worker) =
   | Some v ->
     acct_cpu t ~cpu:w.wid Acct.Dispatch;
     Proc.wait Params.steal_cycles;
-    Queue.take_opt v.local
+    let taken = Queue.take_opt v.local in
+    (match taken with
+    | Some _ -> t.counters.steals <- t.counters.steals + 1
+    | None -> ());
+    taken
+  | None -> None
+
+(* The Steal system's extra axis: an idle worker also steals
+   blocked-then-resumed requests from the longest sibling *ready*
+   queue, re-homing the request — its later faults are issued on the
+   thief's QPs and its later resumptions land on the thief. The scan
+   costs the same as a local-queue steal, and the victim may drain its
+   own queue during that wait (the take re-checks). *)
+let try_steal_ready t (w : worker) =
+  let victim = ref None and best = ref 0 in
+  Array.iter
+    (fun v ->
+      let len = Queue.length v.ready in
+      if v.wid <> w.wid && len > !best then begin
+        victim := Some v;
+        best := len
+      end)
+    t.workers;
+  match !victim with
+  | Some v ->
+    acct_cpu t ~cpu:w.wid Acct.Dispatch;
+    Proc.wait Params.steal_cycles;
+    let taken = Queue.take_opt v.ready in
+    (match taken with
+    | Some e ->
+      t.counters.steals <- t.counters.steals + 1;
+      e.worker <- Some w
+    | None -> ());
+    taken
   | None -> None
 
 let rec worker_loop t (w : worker) =
@@ -717,12 +757,22 @@ let rec worker_loop t (w : worker) =
           account_dequeue t w e;
           run_entry t w e;
           worker_loop t w
-        | None ->
-          w.idle <- true;
-          Proc.Gate.signal t.dispatch_gate;
-          acct_cpu t ~cpu:w.wid Acct.Idle;
-          Proc.Gate.await w.gate;
-          worker_loop t w))
+        | None -> (
+          let resumed =
+            if t.cfg.Config.system = Config.Steal then try_steal_ready t w
+            else None
+          in
+          match resumed with
+          | Some e ->
+            w.idle <- false;
+            resume_ready t w e;
+            worker_loop t w
+          | None ->
+            w.idle <- true;
+            Proc.Gate.signal t.dispatch_gate;
+            acct_cpu t ~cpu:w.wid Acct.Idle;
+            Proc.Gate.await w.gate;
+            worker_loop t w)))
 
 (* --- dispatcher ---------------------------------------------------------- *)
 
@@ -1025,6 +1075,7 @@ let create ?(trace = Trace_sink.null) sim cfg app ~on_reply =
           fetch_retries = 0;
           retries_hwm = 0;
           drops_qp = 0;
+          steals = 0;
         };
       fault;
       trace;
@@ -1087,6 +1138,9 @@ let register_metrics t reg ~labels =
     (fun () -> float_of_int c.retries_hwm);
   counter "adios_sys_drops_qp_total"
     "Prefetch posts refused by a full QP" (fun () -> c.drops_qp);
+  counter "adios_sys_steals_total"
+    "Requests taken from a sibling worker's local or ready queue"
+    (fun () -> c.steals);
   gauge "adios_sys_pending_depth" "Requests in the central queue" (fun () ->
       float_of_int (pending_depth t));
   gauge "adios_sys_ready_backlog"

@@ -1,6 +1,6 @@
 (** The simulated compute node: dispatcher, workers, page-fault handling
-    and reply transmission, configurable as any of the four systems under
-    test (Adios / DiLOS / DiLOS-P / Hermit).
+    and reply transmission, configurable as any of the five systems under
+    test (Adios / DiLOS / DiLOS-P / Hermit / Steal).
 
     Datapath (Figs. 1, 3, 5): client packets arrive through
     {!receive}, are admitted into the bounded single queue, dispatched to
@@ -15,7 +15,13 @@
       also synchronous.
     - [Dilos_p]: like [Dilos] plus 5 us cooperative preemption at the
       application's checkpoint probes.
-    - [Hermit]: like [Dilos] plus kernel-path costs and kernel jitter. *)
+    - [Hermit]: like [Dilos] plus kernel-path costs and kernel jitter.
+    - [Steal]: Adios's yield-based fault protocol on per-CPU run
+      queues — arrivals are sprayed round-robin, and an idle worker
+      steals queued arrivals from siblings' local queues *and*
+      blocked-then-resumed requests from their ready queues (re-homing
+      the request onto its own QPs). The distributed-dispatch contrast
+      to Algorithm 1's centralized queue. *)
 
 type t
 
@@ -45,6 +51,10 @@ type counters = {
   mutable drops_qp : int;
       (** posts refused by a full QP on the prefetch path (the prefetch
           is abandoned, never silently lost) *)
+  mutable steals : int;
+      (** requests taken from a sibling worker's queue: local-queue
+          steals under [Work_stealing] dispatch, plus ready-queue steals
+          of blocked-then-resumed requests under the [Steal] system *)
 }
 
 val create :

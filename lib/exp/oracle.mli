@@ -42,12 +42,27 @@ val check_cpu_conservation : ?tol:float -> Dataset.t -> violation list
     sum to 1 within [tol] (default 0.01, covering CSV rounding). A gap
     or double-count in the accounting instrumentation fails here. *)
 
+val yield_systems : string list
+(** The systems whose fault path yields instead of spinning (Adios and
+    the Steal variant); {!check_busywait_elimination} holds these to the
+    near-zero bound and everything else to the spinning floor. *)
+
 val check_busywait_elimination :
   ?adios_max:float -> ?spin_min:float -> Dataset.t -> violation list
-(** The paper's headline direction: Adios's busy-wait share stays below
-    [adios_max] (default 0.02) at every point, while every spinning
-    baseline's peak busy-wait share reaches at least [spin_min]
-    (default 0.3) somewhere in its curve. *)
+(** The paper's headline direction: every yield-based system's busy-wait
+    share stays below [adios_max] (default 0.02) at every point, while
+    every spinning baseline's peak busy-wait share reaches at least
+    [spin_min] (default 0.3) somewhere in its curve. *)
+
+val check_steal_activity : Dataset.t -> violation list
+(** Steal rows must record at least one sibling-queue steal somewhere in
+    the curve, and every single-queue system's steals column must be
+    identically zero. *)
+
+val check_steal_tail : ?factor:float -> Dataset.t -> violation list
+(** Below Adios's knee, Steal's P99.9 must stay within [factor]
+    (default 5) of Adios's at the same load — distributed dispatch with
+    stealing stays in the centralized queue's latency regime. *)
 
 val check_failover : ?tail_factor:float -> Dataset.t -> violation list
 (** Cluster crash rows (requires the cluster columns): the scheduled
@@ -88,3 +103,11 @@ val check_cluster :
     {!check_failover} and {!check_replication_tail}. (Knee and ranking
     shapes need multi-system load curves, which a topology-grid sweep
     does not carry.) *)
+
+val check_steal : ?k:float -> ?factor:float -> Dataset.t -> violation list
+(** The bundle for the steal-reduced golden (Adios vs Steal): knees
+    detected, throughput monotone, conservation, cycle-share
+    conservation, busy-wait elimination, {!check_steal_activity} and
+    {!check_steal_tail}. Ranking is deliberately not gated — which
+    dispatch knees first at high core count is the measurement, not an
+    invariant. *)

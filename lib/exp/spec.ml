@@ -16,6 +16,7 @@ type t = {
   fetch_timeout_us : float;
   fetch_retries : int;
   local_ratio : float option;
+  workers : int option;
   clusters : Cluster.config list;
 }
 
@@ -43,7 +44,7 @@ let point_seed ~seed ~index =
 let make ?(systems = [ Config.Hermit; Config.Dilos; Config.Dilos_p; Config.Adios ])
     ?(apps = [ "array" ]) ?(loads = [ 1000. ]) ?(requests = 4000) ?(seed = 42)
     ?(fault = Injector.none) ?(fetch_timeout_us = 50.) ?(fetch_retries = 3)
-    ?local_ratio ?(clusters = [ Cluster.default ]) ~name () =
+    ?local_ratio ?workers ?(clusters = [ Cluster.default ]) ~name () =
   let apps =
     List.map
       (fun n ->
@@ -63,6 +64,7 @@ let make ?(systems = [ Config.Hermit; Config.Dilos; Config.Dilos_p; Config.Adios
     fetch_timeout_us;
     fetch_retries;
     local_ratio;
+    workers;
     clusters;
   }
 
@@ -102,6 +104,11 @@ let config spec point =
     match spec.local_ratio with
     | None -> cfg
     | Some local_ratio -> { cfg with Config.local_ratio }
+  in
+  let cfg =
+    match spec.workers with
+    | None -> cfg
+    | Some workers -> { cfg with Config.workers }
   in
   {
     cfg with
@@ -181,7 +188,21 @@ let cluster_reduced =
       ]
     ()
 
-let all_goldens = reduced @ [ cluster_reduced ]
+(* Steal golden: the distributed-dispatch contrast. Adios's centralized
+   PF-aware queue vs the Steal variant's per-CPU run queues with idle
+   CPUs stealing both queued arrivals and blocked-then-resumed requests,
+   at double the standard core count — where a centralized queue is
+   most stressed and stealing has the most siblings to scan. The grid
+   brackets both systems' knees; the steal bundle additionally gates
+   that Steal actually steals and that its tail stays within a
+   documented factor of Adios's (see Oracle.check_steal). *)
+let steal_reduced =
+  make ~name:"steal-reduced" ~systems:[ Config.Adios; Config.Steal ]
+    ~workers:16
+    ~loads:[ 400.; 1200.; 2000.; 2800.; 3600.; 4400.; 5200. ]
+    ()
+
+let all_goldens = reduced @ [ cluster_reduced; steal_reduced ]
 
 let reduced_by_name name =
   List.find_opt (fun s -> String.equal s.name name) all_goldens

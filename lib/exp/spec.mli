@@ -17,6 +17,9 @@ type t = {
       (** armed only when [fault] injects or a cluster point crashes *)
   fetch_retries : int;
   local_ratio : float option;  (** [None] keeps each system's default *)
+  workers : int option;
+      (** worker (CPU) count; [None] keeps the paper's standard 8 —
+          the steal spec raises it to stress dispatch at scale *)
   clusters : Adios_cluster.Cluster.config list;
       (** memory-node topology axis; default [[Cluster.default]] (one
           node, R = 1) keeps every existing spec byte-identical *)
@@ -46,6 +49,7 @@ val make :
   ?fetch_timeout_us:float ->
   ?fetch_retries:int ->
   ?local_ratio:float ->
+  ?workers:int ->
   ?clusters:Adios_cluster.Cluster.config list ->
   name:string ->
   unit ->
@@ -89,9 +93,14 @@ val cluster_reduced : t
     sub-knee load; its golden carries the cluster columns and is gated
     by the failover + replication-tail oracles. *)
 
+val steal_reduced : t
+(** Adios vs the Steal per-CPU work-stealing variant on the array app at
+    16 workers: the centralized-vs-distributed dispatch contrast, gated
+    by {!Oracle.check_steal}. *)
+
 val all_goldens : t list
 (** Every spec with a checked-in golden: {!reduced} plus
-    {!cluster_reduced}. *)
+    {!cluster_reduced} and {!steal_reduced}. *)
 
 val reduced_by_name : string -> t option
 (** Lookup over {!all_goldens}. *)

@@ -1,9 +1,14 @@
-(** Sweep execution: expand a {!Spec.t} into points and run them, either
-    in-process ([jobs <= 1]) or as up to [jobs] parallel forked worker
-    processes, each an [adios_sim]-equivalent run of one point. Results
-    are identical either way: every point builds a fresh simulator, app
-    and RNG from its own deterministic seed, and workers marshal the
-    plain-data {!Adios_core.Runner.result} back unchanged. *)
+(** Sweep execution: expand a {!Spec.t} into points and run them —
+    in-process ([jobs <= 1]), as up to [jobs] parallel forked worker
+    processes ([mode = `Fork], the default), or across [jobs] OCaml 5
+    domains on the work-stealing pool in lib/par ([mode = `Domains]).
+    Results are bit-identical across all three backends: every point
+    builds a fresh simulator, app and RNG from its own deterministic
+    seed, forked workers marshal the plain-data
+    {!Adios_core.Runner.result} back unchanged, and domain workers
+    share it directly. test/test_sweep.ml and the CI domains-smoke job
+    gate the byte-equality of the resulting CSVs on every reduced
+    spec. *)
 
 val run_point :
   ?cfg_tweak:(Adios_core.Config.t -> Adios_core.Config.t) ->
@@ -19,13 +24,21 @@ val point_label : Spec.point -> string
 
 val run :
   ?jobs:int ->
+  ?mode:[ `Fork | `Domains ] ->
   ?cfg_tweak:(Adios_core.Config.t -> Adios_core.Config.t) ->
   ?progress:(Spec.point -> Adios_core.Runner.result -> unit) ->
   Spec.t ->
   (Spec.point * Adios_core.Runner.result) list
-(** Run the whole sweep. Results are returned in {!Spec.points} order
-    regardless of [jobs]; [progress] fires once per point, in points
-    order (workers are drained in spawn order).
+(** Run the whole sweep. [jobs <= 1] runs sequentially in-process;
+    otherwise [mode] picks the parallel backend: [`Fork] (default)
+    spawns up to [jobs] worker processes, [`Domains] runs the points
+    across [jobs] shared-memory domains on a work-stealing pool.
+    Results are returned in {!Spec.points} order and are byte-identical
+    across backends; [progress] fires once per point, in points order
+    (fork: workers are drained in spawn order; domains: completions are
+    released as the finished prefix grows).
 
-    @raise Failure if a worker process dies or a point raises; remaining
-    workers are killed first. *)
+    @raise Failure if a worker process dies or a point raises. Fork:
+    remaining workers are killed first. Domains: remaining points still
+    run to completion before the failure surfaces (the pool is torn
+    down cleanly). *)

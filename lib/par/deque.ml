@@ -1,0 +1,138 @@
+(* Bounded single-owner / multi-thief work-stealing deque (the
+   fixed-capacity variant of the Chase-Lev deque), on OCaml 5's
+   sequentially-consistent [Atomic].
+
+   One domain — the owner — pushes and pops at the bottom; any other
+   domain steals at the top. [top] and [bottom] are monotonically
+   non-decreasing epoch counters (never wrapped); a slot's array index
+   is the counter masked by [capacity - 1], so an index is reused only
+   after [capacity] further operations, and [push] refuses to overwrite
+   a slot whose element has not been consumed ([bottom - top] would
+   reach the capacity).
+
+   Why this is safe under concurrent stealing, in one paragraph: [top]
+   only ever advances via a compare-and-set, so a thief that read the
+   slot *before* its CAS succeeded is guaranteed the value was live —
+   for [push] to overwrite that slot it must first observe [top] past
+   the thief's index, which can only happen after the thief's CAS (SC
+   total order), and the owner's pop touches only the slot at
+   [bottom - 1], which a competing thief can reach only through the
+   same CAS on [top] (the last-element tie in [pop_into]). The owner's
+   transient [bottom] decrement in [pop_into] makes the deque look
+   empty to thieves while the owner decides, which is conservative.
+
+   The deque is zero-allocation in steady state (it is on the
+   adios-lint hot-path manifest): results come back through a
+   caller-provided cell, and vacated slots are overwritten with the
+   [dummy] element supplied at creation so popped values do not linger
+   reachable. Stolen slots are cleared lazily (the thief must not write
+   the buffer), so a stolen value stays reachable from the buffer until
+   its slot is reused — bounded retention, acceptable for the small job
+   closures this library schedules.
+
+   [yield_hook] is the concurrency-testing seam: every atomic access
+   funnels through [aget]/[aset]/[acas], which invoke the hook first.
+   The interleaving harness in test/test_par.ml installs an effect that
+   suspends the current "domain" at each atomic access and enumerates
+   all schedules of two concurrent programs over the *production* code
+   paths below — leave it at [ignore] outside tests (one load and an
+   indirect call per atomic access; the deque stays allocation-free). *)
+
+let yield_hook : (unit -> unit) ref = ref ignore
+
+let aget a =
+  !yield_hook ();
+  Atomic.get a
+
+let aset a v =
+  !yield_hook ();
+  Atomic.set a v
+
+let acas a old v =
+  !yield_hook ();
+  Atomic.compare_and_set a old v
+
+type 'a t = {
+  buf : 'a array;
+  mask : int;  (** [capacity - 1]; capacity is a power of two *)
+  dummy : 'a;  (** written into vacated slots so values do not leak *)
+  top : int Atomic.t;  (** next index to steal (thieves CAS this) *)
+  bottom : int Atomic.t;  (** next index to push (owner-only writes) *)
+}
+
+let create ~capacity dummy =
+  if capacity < 1 then invalid_arg "Deque.create: capacity < 1";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    buf = Array.make !cap dummy;
+    mask = !cap - 1;
+    dummy;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.buf
+
+(* Snapshot size; may be stale the moment it returns (and transiently
+   reads one low while the owner is mid-pop), so callers treat it as a
+   victim-selection hint, never a guarantee. *)
+let size t =
+  let b = aget t.bottom in
+  let tp = aget t.top in
+  if b - tp < 0 then 0 else b - tp
+
+let push t x =
+  let b = aget t.bottom in
+  let tp = aget t.top in
+  if b - tp >= Array.length t.buf then false
+  else begin
+    Array.unsafe_set t.buf (b land t.mask) x;
+    aset t.bottom (b + 1);
+    true
+  end
+
+let pop_into t cell =
+  let b = aget t.bottom - 1 in
+  aset t.bottom b;
+  let tp = aget t.top in
+  if b < tp then begin
+    (* empty: undo the reservation *)
+    aset t.bottom (b + 1);
+    false
+  end
+  else if b > tp then begin
+    (* interior element: thieves cannot reach slot [b] (they would need
+       [top = b], which requires observing [bottom <= b] first) *)
+    cell := Array.unsafe_get t.buf (b land t.mask);
+    Array.unsafe_set t.buf (b land t.mask) t.dummy;
+    true
+  end
+  else begin
+    (* last element: race the thieves for it through [top] *)
+    let won = acas t.top tp (tp + 1) in
+    aset t.bottom (tp + 1);
+    if won then begin
+      cell := Array.unsafe_get t.buf (b land t.mask);
+      Array.unsafe_set t.buf (b land t.mask) t.dummy;
+      true
+    end
+    else false
+  end
+
+let steal_into t cell =
+  let tp = aget t.top in
+  let b = aget t.bottom in
+  if b - tp <= 0 then false
+  else begin
+    (* read before CAS: a successful CAS proves the read was of the
+       live value (see the safety argument at the top of the file) *)
+    let x = Array.unsafe_get t.buf (tp land t.mask) in
+    if acas t.top tp (tp + 1) then begin
+      cell := x;
+      true
+    end
+    else false
+  end

@@ -1,0 +1,55 @@
+(** Bounded single-owner / multi-thief work-stealing deque (the
+    fixed-capacity Chase-Lev variant) on sequentially-consistent
+    [Atomic]s.
+
+    Ownership contract: exactly one domain — the owner — may call
+    {!push} and {!pop_into}; any number of other domains may call
+    {!steal_into} concurrently. {!size} and {!capacity} are safe from
+    anywhere. The owner pops in LIFO order; thieves steal the oldest
+    element (FIFO from the other end), which is what gives
+    work-stealing schedulers their locality/low-contention split.
+
+    The deque never allocates after {!create}: results are returned
+    through a caller-provided cell, and vacated slots are overwritten
+    with the [dummy] element. Its correctness is established by the
+    interleaving harness in test/test_par.ml, which enumerates every
+    schedule of concurrent push/pop/steal programs through
+    {!yield_hook}. *)
+
+type 'a t
+
+val create : capacity:int -> 'a -> 'a t
+(** [create ~capacity dummy] makes an empty deque holding at most
+    [capacity] elements (rounded up to a power of two). [dummy] is
+    written into vacated slots so popped values do not stay reachable;
+    it is never returned. Raises [Invalid_argument] if
+    [capacity < 1]. *)
+
+val capacity : 'a t -> int
+(** Actual capacity (the power of two [create] rounded up to). *)
+
+val size : 'a t -> int
+(** Snapshot of the element count; immediately stale under
+    concurrency (and transiently one low while the owner is mid-pop).
+    A victim-selection hint only. *)
+
+val push : 'a t -> 'a -> bool
+(** Owner only. [push t x] appends [x] at the bottom; [false] if the
+    deque is full (the caller keeps ownership of [x] and typically
+    runs it inline). *)
+
+val pop_into : 'a t -> 'a ref -> bool
+(** Owner only. Takes the most recently pushed element into the cell;
+    [false] if empty. The cell is written only on a [true] return. *)
+
+val steal_into : 'a t -> 'a ref -> bool
+(** Any non-owner domain. Takes the oldest element into the cell;
+    [false] if the deque looked empty *or* the steal lost a race (the
+    caller retries or moves to another victim). The cell is written
+    only on a [true] return. *)
+
+val yield_hook : (unit -> unit) ref
+(** Concurrency-testing seam: called before every atomic access inside
+    the operations above. [ignore] outside tests; the interleaving
+    harness installs an effect performer to enumerate schedules over
+    the production code paths. Not for production use. *)

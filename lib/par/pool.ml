@@ -1,0 +1,215 @@
+(* Work-stealing domain pool.
+
+   Topology: [n] worker domains, each owning one bounded {!Deque} of
+   jobs, plus one mutex-protected injector queue for work submitted
+   from outside the pool (the main domain cannot push into a worker's
+   deque — it owns none). A worker looks for work in cost order: its
+   own deque (LIFO, cache-warm), then a steal sweep over its siblings'
+   deques (FIFO end), then the injector; only when all three come up
+   empty does it park on the condition variable.
+
+   Park/unpark protocol: [sleepers] counts workers that are committed
+   to parking. A producer that just made work visible (deque push or
+   injector submit) reads [sleepers] and, if non-zero, takes the lock
+   and signals. A parking worker increments [sleepers] *under the
+   lock* and then re-checks every work source before waiting. The SC
+   total order over the deque atomics and [sleepers] makes the classic
+   flag/flag argument go through: either the producer's read of
+   [sleepers] sees the parking worker (and signals under the lock,
+   which the worker either sees as a wakeup or pre-empts by finding
+   the work during its re-check), or the producer's read preceded the
+   worker's increment, in which case the worker's subsequent re-check
+   is ordered after the producer's work-publishing write and finds the
+   work. Either way no wakeup is lost.
+
+   [run_all] is the fork-join entry point: the task array is wrapped
+   in a binary splitter job injected once; whichever worker picks it
+   up pushes its right halves into its own deque (where siblings steal
+   them) and recurses left. Leaves report completion through a
+   dedicated mutex/condvar pair that the calling domain waits on, so
+   the caller's [on_done] progress callback always runs on the calling
+   domain. The first exception a task raises is captured and re-raised
+   on the caller after *all* tasks finish (results arrays stay fully
+   defined; nothing is torn down mid-flight). *)
+
+type job = unit -> unit
+
+type t = {
+  deques : job Deque.t array;
+  injector : job Queue.t;  (* guarded by [lock] *)
+  lock : Mutex.t;
+  work_cond : Condition.t;
+  sleepers : int Atomic.t;
+  mutable live : bool;  (* guarded by [lock]; false once shut down *)
+  mutable domains : unit Domain.t array;
+}
+
+let size t = Array.length t.deques
+
+(* Which worker slot the current domain is, or -1 off-pool. Lets the
+   splitter in [run_all] push to its own deque when running on a
+   worker and fall back to inline execution elsewhere. *)
+let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+let my_slot () = Domain.DLS.get slot_key
+
+let nothing : job = ignore
+
+let wake_one t =
+  if Atomic.get t.sleepers > 0 then begin
+    Mutex.lock t.lock;
+    Condition.signal t.work_cond;
+    Mutex.unlock t.lock
+  end
+
+let submit t job =
+  Mutex.lock t.lock;
+  Queue.push job t.injector;
+  Condition.signal t.work_cond;
+  Mutex.unlock t.lock
+
+let try_steal t i cell =
+  let n = Array.length t.deques in
+  let rec go k =
+    if k >= n then false
+    else
+      let j = (i + k) mod n in
+      Deque.steal_into t.deques.(j) cell || go (k + 1)
+  in
+  go 1
+
+(* Injector probe or park; caller rescans afterwards. Returns [false]
+   only when the pool is shut down and every work source is empty —
+   the worker's exit condition. *)
+let injector_or_park t i cell =
+  let work_visible () =
+    (not (Queue.is_empty t.injector))
+    || Array.exists (fun d -> Deque.size d > 0) t.deques
+  in
+  Mutex.lock t.lock;
+  match Queue.take_opt t.injector with
+  | Some job ->
+    Mutex.unlock t.lock;
+    cell := job;
+    true
+  | None ->
+    if not t.live then begin
+      Mutex.unlock t.lock;
+      (* drain leftovers (shutdown raced a final push) before exiting *)
+      Deque.size t.deques.(i) > 0 || try_steal t i cell
+    end
+    else begin
+      Atomic.incr t.sleepers;
+      if work_visible () then begin
+        Atomic.decr t.sleepers;
+        Mutex.unlock t.lock
+      end
+      else begin
+        Condition.wait t.work_cond t.lock;
+        Atomic.decr t.sleepers;
+        Mutex.unlock t.lock
+      end;
+      cell := nothing;
+      true
+    end
+
+let rec worker t i cell =
+  if Deque.pop_into t.deques.(i) cell || try_steal t i cell then begin
+    !cell ();
+    cell := nothing;
+    worker t i cell
+  end
+  else if injector_or_park t i cell then begin
+    !cell ();
+    cell := nothing;
+    worker t i cell
+  end
+
+(* Per-worker deque capacity. The splitter's occupancy is bounded by
+   the recursion depth (log2 of the task count), so 1024 leaves orders
+   of magnitude of headroom; a full deque degrades to inline
+   execution, never to an error. *)
+let deque_capacity = 1024
+
+let create ~domains:n =
+  if n < 1 then invalid_arg "Pool.create: domains < 1";
+  let t =
+    {
+      deques = Array.init n (fun _ -> Deque.create ~capacity:deque_capacity nothing);
+      injector = Queue.create ();
+      lock = Mutex.create ();
+      work_cond = Condition.create ();
+      sleepers = Atomic.make 0;
+      live = true;
+      domains = [||];
+    }
+  in
+  t.domains <-
+    Array.init n (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set slot_key i;
+            worker t i (ref nothing)));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.live <- false;
+  Condition.broadcast t.work_cond;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run_all ?(on_done = fun _ -> ()) t tasks =
+  let n = Array.length tasks in
+  if n > 0 then begin
+    let fin_lock = Mutex.create () in
+    let fin_cond = Condition.create () in
+    let done_queue = Queue.create () in
+    let first_err = ref None in
+    let leaf i =
+      (try tasks.(i) ()
+       with e ->
+         Mutex.lock fin_lock;
+         (match !first_err with
+         | None -> first_err := Some e
+         | Some _ -> ());
+         Mutex.unlock fin_lock);
+      Mutex.lock fin_lock;
+      Queue.push i done_queue;
+      Condition.signal fin_cond;
+      Mutex.unlock fin_lock
+    in
+    (* Binary splitter: push the right half for thieves, recurse left.
+       A failed push (deque full, or running off-pool) runs the right
+       half inline — correctness never depends on the push landing. *)
+    let rec span lo hi () =
+      if hi - lo = 1 then leaf lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        let self = my_slot () in
+        let pushed = self >= 0 && Deque.push t.deques.(self) (span mid hi) in
+        if pushed then wake_one t;
+        span lo mid ();
+        if not pushed then span mid hi ()
+      end
+    in
+    submit t (span 0 n);
+    (* Wait on the calling domain, surfacing completions between waits
+       so [on_done] runs outside any lock and off the workers. *)
+    let reported = ref 0 in
+    Mutex.lock fin_lock;
+    while !reported < n do
+      match Queue.take_opt done_queue with
+      | Some i ->
+        Mutex.unlock fin_lock;
+        incr reported;
+        on_done i;
+        Mutex.lock fin_lock
+      | None -> Condition.wait fin_cond fin_lock
+    done;
+    Mutex.unlock fin_lock;
+    match !first_err with Some e -> raise e | None -> ()
+  end

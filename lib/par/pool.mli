@@ -1,0 +1,49 @@
+(** Work-stealing domain pool: [n] worker domains, each owning a
+    bounded {!Deque} of jobs, a global injector queue for off-pool
+    submissions, and a park/unpark idle protocol (workers sleep on a
+    condition variable when every work source is empty; producers wake
+    them).
+
+    This is the shared-memory backend behind [Sweep.run ~mode:`Domains]
+    and is deliberately tiny: independent jobs in, fork-join spread via
+    per-domain deques, completion and exceptions funnelled back to the
+    calling domain. Jobs must not themselves call {!run_all}. *)
+
+type t
+
+type job = unit -> unit
+
+val create : domains:int -> t
+(** Spawn a pool of [domains] worker domains (>= 1), all initially
+    parked. Raises [Invalid_argument] on [domains < 1]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> job -> unit
+(** Enqueue one job on the injector queue and wake a worker. The job
+    runs on an arbitrary worker domain; an exception it raises kills
+    that worker, so wrap jobs that can fail ({!run_all} does). *)
+
+val run_all : ?on_done:(int -> unit) -> t -> job array -> unit
+(** [run_all t tasks] runs every task to completion across the pool
+    and returns when all have finished. Tasks are spread by a binary
+    splitter: whichever worker picks the batch up pushes right halves
+    into its own deque for siblings to steal. [on_done] (default:
+    ignore) is called on the *calling* domain with the array index of
+    each completed task, in completion-observation order — the
+    progress hook. If any task raised, the first exception
+    observed is re-raised on the caller after all tasks have
+    finished; the rest are dropped. Do not call concurrently from
+    multiple domains on one pool, and do not call from inside a
+    task. *)
+
+val shutdown : t -> unit
+(** Stop accepting sleep, drain nothing: workers exit once every work
+    source is empty, and [shutdown] joins them. Only call after all
+    {!run_all}/{!submit} activity has completed; jobs still in flight
+    are finished, not cancelled. Idempotent-ish: a second call is a
+    no-op (no domains left to join). *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] = create, run [f], always shut down. *)

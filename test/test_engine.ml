@@ -147,8 +147,19 @@ let test_clock () =
 
 (* --- sim -------------------------------------------------------------- *)
 
-let test_sim_order () =
-  let sim = Sim.create () in
+(* Per-test [Sim] fixture: every sim/proc test below receives a fresh
+   simulator and its body runs on its own spawned domain, never the
+   main one. The `Domains sweep backend builds one simulator per point
+   on whichever worker domain steals it, so any hidden module-level
+   state in the engine — a shared table, a static counter, an implicit
+   RNG — would make results depend on which domain ran first; a fresh
+   domain per test keeps that honest. [Domain.join] re-raises the
+   body's exception, so alcotest failures surface unchanged. *)
+let sim_case name body =
+  Alcotest.test_case name `Quick (fun () ->
+      Domain.join (Domain.spawn (fun () -> body (Sim.create ()))))
+
+let test_sim_order sim =
   let log = ref [] in
   Sim.schedule sim ~delay:10 (fun () -> log := "b" :: !log);
   Sim.schedule sim ~delay:5 (fun () -> log := "a" :: !log);
@@ -159,8 +170,7 @@ let test_sim_order () =
   check_int "clock" 10 (Sim.now sim);
   check_int "processed" 3 (Sim.events_processed sim)
 
-let test_sim_run_until () =
-  let sim = Sim.create () in
+let test_sim_run_until sim =
   let fired = ref 0 in
   Sim.schedule sim ~delay:100 (fun () -> incr fired);
   Sim.schedule sim ~delay:200 (fun () -> incr fired);
@@ -171,8 +181,7 @@ let test_sim_run_until () =
   Sim.run sim;
   check_int "both fired" 2 !fired
 
-let test_sim_nested_schedule () =
-  let sim = Sim.create () in
+let test_sim_nested_schedule sim =
   let result = ref 0 in
   Sim.schedule sim ~delay:5 (fun () ->
       Sim.schedule sim ~delay:5 (fun () -> result := Sim.now sim));
@@ -201,8 +210,7 @@ let prop_sim_stable_order =
       && Sim.pending sim = 0
       && Sim.events_processed sim = List.length delays)
 
-let test_sim_negative_delay_clamped () =
-  let sim = Sim.create () in
+let test_sim_negative_delay_clamped sim =
   let at = ref (-1) in
   Sim.schedule sim ~delay:20 (fun () ->
       Sim.schedule sim ~delay:(-50) (fun () -> at := Sim.now sim));
@@ -211,8 +219,7 @@ let test_sim_negative_delay_clamped () =
 
 (* Every past-time clamp is counted; on-time and zero-delay schedules
    are not. *)
-let test_clamped_schedules_counter () =
-  let sim = Sim.create () in
+let test_clamped_schedules_counter sim =
   check_int "fresh" 0 (Sim.clamped_schedules sim);
   let at = ref (-1) in
   Sim.schedule sim ~delay:20 (fun () ->
@@ -229,8 +236,7 @@ let test_clamped_schedules_counter () =
 
 (* An event at exactly the limit fires; one past it does not; the clock
    lands on the limit and stays there on a redundant call. *)
-let test_run_until_boundary () =
-  let sim = Sim.create () in
+let test_run_until_boundary sim =
   let fired = ref [] in
   Sim.schedule sim ~delay:100 (fun () -> fired := 100 :: !fired);
   Sim.schedule sim ~delay:101 (fun () -> fired := 101 :: !fired);
@@ -247,8 +253,7 @@ let test_run_until_boundary () =
 (* Cancelled timers never run, never count, and never advance the clock;
    [pending] excludes them. Both the wheel (short delay) and the far
    heap (beyond the wheel horizon) honour this. *)
-let test_cancel_pending_timer () =
-  let sim = Sim.create () in
+let test_cancel_pending_timer sim =
   let fired = ref false in
   let near = Sim.timer_after sim ~delay:50 (fun () -> fired := true) in
   let far = Sim.timer_at sim 200_000 (fun () -> fired := true) in
@@ -266,8 +271,7 @@ let test_cancel_pending_timer () =
 
 (* Cancelling a timer that already fired is a no-op — in particular it
    must not kill an unrelated event that reuses the same pool cell. *)
-let test_cancel_after_fire_noop () =
-  let sim = Sim.create () in
+let test_cancel_after_fire_noop sim =
   let fired = ref 0 in
   let tok = Sim.timer_at sim 10 (fun () -> incr fired) in
   Sim.run sim;
@@ -283,9 +287,8 @@ let test_cancel_after_fire_noop () =
 (* 2^20 same-time events: sequence numbers stay monotone through pool
    growth after pool growth, so the fire order is exactly the schedule
    order. *)
-let test_seq_monotone_2pow20 () =
+let test_seq_monotone_2pow20 sim =
   let n = 1 lsl 20 in
-  let sim = Sim.create () in
   let next = ref 0 in
   let ok = ref true in
   for i = 0 to n - 1 do
@@ -299,8 +302,7 @@ let test_seq_monotone_2pow20 () =
 
 (* A chain of short hops that starts beyond the wheel horizon and then
    crosses rotation boundaries again and again. *)
-let test_far_then_wheel_chain () =
-  let sim = Sim.create () in
+let test_far_then_wheel_chain sim =
   let hops = ref 0 in
   let rec hop () =
     incr hops;
@@ -313,8 +315,7 @@ let test_far_then_wheel_chain () =
 
 (* --- proc ------------------------------------------------------------- *)
 
-let test_proc_wait () =
-  let sim = Sim.create () in
+let test_proc_wait sim =
   let trace = ref [] in
   Proc.spawn sim (fun () ->
       trace := ("p1", Sim.now sim) :: !trace;
@@ -330,8 +331,7 @@ let test_proc_wait () =
     [ ("p1", 0); ("p2", 50); ("p1", 100) ]
     (List.rev !trace)
 
-let test_proc_suspend_resume () =
-  let sim = Sim.create () in
+let test_proc_suspend_resume sim =
   let resumer = ref None in
   let stages = ref [] in
   Proc.spawn sim (fun () ->
@@ -345,8 +345,7 @@ let test_proc_suspend_resume () =
     (List.rev !stages);
   check_int "resumed at" 500 (Sim.now sim)
 
-let test_proc_double_resume_rejected () =
-  let sim = Sim.create () in
+let test_proc_double_resume_rejected sim =
   let resumer = ref None in
   Proc.spawn sim (fun () ->
       Proc.suspend (fun resume -> resumer := Some resume));
@@ -359,8 +358,7 @@ let test_proc_double_resume_rejected () =
       (Failure "Proc.suspend: double resume") (fun () -> r ())
   | None -> Alcotest.fail "no resumer"
 
-let test_gate () =
-  let sim = Sim.create () in
+let test_gate sim =
   let woke = ref (-1) in
   let gate = Proc.Gate.create sim in
   Proc.spawn sim (fun () ->
@@ -370,8 +368,7 @@ let test_gate () =
   Sim.run sim;
   check_int "woken" 70 !woke
 
-let test_gate_no_lost_wakeup () =
-  let sim = Sim.create () in
+let test_gate_no_lost_wakeup sim =
   let gate = Proc.Gate.create sim in
   (* signal before any await: the gate must remember it *)
   Proc.Gate.signal gate;
@@ -390,8 +387,7 @@ let test_gate_no_lost_wakeup () =
   Sim.run sim;
   check_bool "coalesced" false !woke2
 
-let test_mailbox () =
-  let sim = Sim.create () in
+let test_mailbox sim =
   let mb = Proc.Mailbox.create sim in
   let got = ref [] in
   Proc.spawn sim (fun () ->
@@ -528,34 +524,26 @@ let () =
       ("clock", [ Alcotest.test_case "conversions" `Quick test_clock ]);
       ( "sim",
         [
-          Alcotest.test_case "event order" `Quick test_sim_order;
-          Alcotest.test_case "run_until" `Quick test_sim_run_until;
-          Alcotest.test_case "nested schedule" `Quick test_sim_nested_schedule;
-          Alcotest.test_case "negative delay" `Quick
-            test_sim_negative_delay_clamped;
-          Alcotest.test_case "clamp counter" `Quick
-            test_clamped_schedules_counter;
-          Alcotest.test_case "run_until boundary" `Quick
-            test_run_until_boundary;
-          Alcotest.test_case "cancel pending" `Quick test_cancel_pending_timer;
-          Alcotest.test_case "cancel after fire" `Quick
-            test_cancel_after_fire_noop;
-          Alcotest.test_case "seq monotone 2^20" `Quick
-            test_seq_monotone_2pow20;
-          Alcotest.test_case "far-then-wheel chain" `Quick
-            test_far_then_wheel_chain;
+          sim_case "event order" test_sim_order;
+          sim_case "run_until" test_sim_run_until;
+          sim_case "nested schedule" test_sim_nested_schedule;
+          sim_case "negative delay" test_sim_negative_delay_clamped;
+          sim_case "clamp counter" test_clamped_schedules_counter;
+          sim_case "run_until boundary" test_run_until_boundary;
+          sim_case "cancel pending" test_cancel_pending_timer;
+          sim_case "cancel after fire" test_cancel_after_fire_noop;
+          sim_case "seq monotone 2^20" test_seq_monotone_2pow20;
+          sim_case "far-then-wheel chain" test_far_then_wheel_chain;
           q prop_sim_stable_order;
         ] );
       ( "proc",
         [
-          Alcotest.test_case "wait interleaving" `Quick test_proc_wait;
-          Alcotest.test_case "suspend/resume" `Quick test_proc_suspend_resume;
-          Alcotest.test_case "double resume" `Quick
-            test_proc_double_resume_rejected;
-          Alcotest.test_case "gate" `Quick test_gate;
-          Alcotest.test_case "gate no lost wakeup" `Quick
-            test_gate_no_lost_wakeup;
-          Alcotest.test_case "mailbox" `Quick test_mailbox;
+          sim_case "wait interleaving" test_proc_wait;
+          sim_case "suspend/resume" test_proc_suspend_resume;
+          sim_case "double resume" test_proc_double_resume_rejected;
+          sim_case "gate" test_gate;
+          sim_case "gate no lost wakeup" test_gate_no_lost_wakeup;
+          sim_case "mailbox" test_mailbox;
         ] );
       ( "rng",
         [

@@ -56,6 +56,7 @@ let golden_columns =
     "cpu_tx_share";
     "cpu_idle_share";
     "clamped_schedules";
+    "steals";
   ]
 
 (* The cluster-topology block appended to clustered datasets only

@@ -306,6 +306,38 @@ let test_zero_alloc_manifest_drift () =
        ~manifest:(manifest_of ~file:"lib/engine/sim.ml" [ "gone" ])
        ~path:"lib/engine/sim.ml" "let schedule q = q")
 
+(* The lib/par/deque.ml idiom the manifest entry certifies: atomic
+   accesses routed through the [yield_hook] seam (a dereference applied
+   as a function), unsafe array slots, and CAS. None of it allocates,
+   so the typed rule must stay quiet on exactly this shape. *)
+let test_zero_alloc_deque_idiom () =
+  check_clean "the deque's hook-wrapped atomic idiom is allocation-free"
+    (tlint
+       ~manifest:
+         (manifest_of ~file:"lib/par/deque.ml" [ "push"; "steal_into" ])
+       ~path:"lib/par/deque.ml"
+       "let yield_hook : (unit -> unit) ref = ref ignore\n\
+        let aget a = !yield_hook (); Atomic.get a\n\
+        let acas a old v = !yield_hook (); Atomic.compare_and_set a old v\n\
+        let push buf top x =\n\
+       \  let tp = aget top in\n\
+       \  Array.unsafe_set buf (tp land 7) x;\n\
+       \  tp < 8\n\
+        let steal_into buf top cell =\n\
+       \  let tp = aget top in\n\
+       \  let x = Array.unsafe_get buf (tp land 7) in\n\
+       \  if acas top tp (tp + 1) then begin cell := x; true end\n\
+       \  else false")
+
+let test_zero_alloc_deque_boxed_steal () =
+  (* the regression the entry exists to catch: a steal that boxes its
+     result allocates an option per stolen task *)
+  check_fires "a steal returning an option is a finding" "zero-alloc"
+    (tlint
+       ~manifest:(manifest_of ~file:"lib/par/deque.ml" [ "steal_into" ])
+       ~path:"lib/par/deque.ml"
+       "let steal_into buf tp = Some (Array.unsafe_get buf (tp land 7))")
+
 let test_zero_alloc_suppressible () =
   let src =
     Printf.sprintf
@@ -633,6 +665,10 @@ let () =
           Alcotest.test_case "manifest drift" `Quick
             test_zero_alloc_manifest_drift;
           Alcotest.test_case "suppressible" `Quick test_zero_alloc_suppressible;
+          Alcotest.test_case "deque atomic idiom" `Quick
+            test_zero_alloc_deque_idiom;
+          Alcotest.test_case "deque boxed steal" `Quick
+            test_zero_alloc_deque_boxed_steal;
         ] );
       ( "cycle-units",
         [

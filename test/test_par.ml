@@ -1,0 +1,564 @@
+(* Verification layer for lib/par (the work-stealing deque and domain
+   pool behind [Sweep.run ~mode:`Domains]).
+
+   Three independent angles, because each catches what the others miss:
+
+   - An exhaustive interleaving harness (DSCheck-style, but built on the
+     deque's own [yield_hook] seam): every atomic access inside the
+     production push/pop/steal code suspends the running "domain"
+     through an effect, and a depth-first driver re-runs the program
+     once per schedule, enumerating *every* interleaving of small
+     concurrent programs on one real OCaml domain. Lost or duplicated
+     items under any schedule fail here deterministically.
+   - Model-based testing (qcheck): random operation sequences are run
+     against both the deque and a mutex-locked reference queue, and the
+     full result traces must be identical. This pins the sequential
+     semantics (LIFO pops, FIFO steals, capacity bound) that the
+     interleaving programs are too small to exercise.
+   - Real-parallelism stress: one owner and three thief domains hammer
+     a small deque; conservation of items is checked at the end. This
+     is the only layer that runs the code under genuine weak-memory
+     parallelism, so it back-stops the single-domain harness.
+
+   Plus black-box tests for the pool: run_all correctness, progress
+   callbacks on the calling domain, exception propagation, shutdown
+   draining, and lifecycle reuse. *)
+
+module Deque = Adios_par.Deque
+module Pool = Adios_par.Pool
+module Rng = Adios_engine.Rng
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_string = check Alcotest.string
+let check_ints = check Alcotest.(list int)
+
+(* --- deque: sequential semantics ---------------------------------------- *)
+
+let test_create_rounds_capacity () =
+  check_int "5 rounds to 8" 8 (Deque.capacity (Deque.create ~capacity:5 (-1)));
+  check_int "8 stays 8" 8 (Deque.capacity (Deque.create ~capacity:8 (-1)));
+  check_int "1 stays 1" 1 (Deque.capacity (Deque.create ~capacity:1 (-1)));
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Deque.create: capacity < 1") (fun () ->
+      ignore (Deque.create ~capacity:0 (-1)))
+
+let test_push_bounded () =
+  let d = Deque.create ~capacity:4 (-1) in
+  for v = 0 to 3 do
+    check_bool "push fits" true (Deque.push d v)
+  done;
+  check_bool "fifth push refused" false (Deque.push d 4);
+  check_int "size" 4 (Deque.size d)
+
+let test_lifo_pop_fifo_steal () =
+  let d = Deque.create ~capacity:8 (-1) in
+  List.iter (fun v -> ignore (Deque.push d v)) [ 1; 2; 3; 4 ];
+  let c = ref (-1) in
+  check_bool "pop" true (Deque.pop_into d c);
+  check_int "pop is LIFO" 4 !c;
+  check_bool "steal" true (Deque.steal_into d c);
+  check_int "steal is FIFO" 1 !c;
+  check_bool "steal'" true (Deque.steal_into d c);
+  check_int "next oldest" 2 !c;
+  check_bool "pop'" true (Deque.pop_into d c);
+  check_int "last" 3 !c;
+  check_bool "empty pop" false (Deque.pop_into d c);
+  check_bool "empty steal" false (Deque.steal_into d c)
+
+let test_wraparound () =
+  (* epochs run far past the capacity, so masked slot indices are
+     reused many times over; any off-by-one in the masking shows up as
+     a wrong value here *)
+  let d = Deque.create ~capacity:4 (-1) in
+  let c = ref (-1) in
+  for round = 0 to 24 do
+    for k = 0 to 3 do
+      check_bool "push" true (Deque.push d ((round * 4) + k))
+    done;
+    check_bool "steal" true (Deque.steal_into d c);
+    check_int "oldest first" (round * 4) !c;
+    for k = 3 downto 1 do
+      check_bool "pop" true (Deque.pop_into d c);
+      check_int "newest first" ((round * 4) + k) !c
+    done
+  done;
+  check_int "drained" 0 (Deque.size d)
+
+(* --- interleaving harness ------------------------------------------------ *)
+
+(* Every atomic access in lib/par/deque.ml calls [yield_hook] first.
+   The harness installs a hook that performs an effect, suspending the
+   running thread's continuation and returning control to a scheduler.
+   Continuations are one-shot, so exhaustive exploration re-runs the
+   whole program from scratch for each schedule: the driver follows a
+   recorded prefix of thread choices, and when the prefix runs out it
+   forks the search on every thread still runnable. The deque code
+   under test is the production code, not a model of it. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+(* One fresh execution of the program built by [mk] (which returns the
+   thread bodies plus an end-of-run invariant check). [step i] resumes
+   thread [i] until its next atomic access or completion. *)
+let start mk =
+  let bodies, invariant = mk () in
+  let n = Array.length bodies in
+  let conts :
+      (unit, unit) Effect.Deep.continuation option array =
+    Array.make n None
+  in
+  let started = Array.make n false in
+  let finished = Array.make n false in
+  let current = ref (-1) in
+  Deque.yield_hook :=
+    (fun () -> if !current >= 0 then Effect.perform Yield);
+  let step i =
+    current := i;
+    (if not started.(i) then begin
+       started.(i) <- true;
+       Effect.Deep.match_with bodies.(i) ()
+         {
+           retc = (fun () -> finished.(i) <- true);
+           exnc = raise;
+           effc =
+             (fun (type a) (eff : a Effect.t) ->
+               match eff with
+               | Yield ->
+                 Some
+                   (fun (k : (a, unit) Effect.Deep.continuation) ->
+                     conts.(i) <- Some k)
+               | _ -> None);
+         }
+     end
+     else
+       match conts.(i) with
+       | Some k ->
+         conts.(i) <- None;
+         Effect.Deep.continue k ()
+       | None -> ());
+    current := -1
+  in
+  let runnable () =
+    List.filter (fun i -> not finished.(i)) (List.init n Fun.id)
+  in
+  (step, runnable, invariant)
+
+(* Depth-first enumeration of every schedule. Returns the number of
+   complete schedules explored; the invariant runs at every leaf. *)
+let explore ?(max_leaves = 1_000_000) mk =
+  let leaves = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Deque.yield_hook := ignore)
+    (fun () ->
+      (* [prefix] is the reversed list of choices made so far *)
+      let rec go prefix =
+        if !leaves > max_leaves then
+          Alcotest.failf "schedule explosion: over %d leaves" max_leaves;
+        let step, runnable, invariant = start mk in
+        List.iter step (List.rev prefix);
+        match runnable () with
+        | [] ->
+          Deque.yield_hook := ignore;
+          invariant ();
+          incr leaves
+        | next ->
+          Deque.yield_hook := ignore;
+          List.iter (fun i -> go (i :: prefix)) next
+      in
+      go []);
+  !leaves
+
+(* Random deep schedules for programs too large to enumerate: same
+   machinery, uniformly random runnable choice, fixed seed. *)
+let explore_random ~seed ~iters mk =
+  let rng = Rng.create seed in
+  Fun.protect
+    ~finally:(fun () -> Deque.yield_hook := ignore)
+    (fun () ->
+      for _ = 1 to iters do
+        let step, runnable, invariant = start mk in
+        let rec loop () =
+          match runnable () with
+          | [] -> ()
+          | next -> (
+            step (List.nth next (Rng.int rng (List.length next)));
+            loop ())
+        in
+        loop ();
+        Deque.yield_hook := ignore;
+        invariant ()
+      done)
+
+let rec binom n k =
+  if k = 0 || k = n then 1 else binom (n - 1) (k - 1) + binom (n - 1) k
+
+let rec strictly_increasing = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+
+(* The program family: the owner pushes [pushes] distinct values then
+   pops [pops] times; each thief steals [steals] times. The invariant
+   is conservation — after draining, the multiset
+   popped + stolen + remaining equals exactly the set of pushed values
+   (no item lost, none claimed twice) — plus steal-order monotonicity:
+   a single thief's steals come off the top in push order. *)
+let deque_program ~pushes ~pops ~thieves ~steals () =
+  let d = Deque.create ~capacity:8 (-1) in
+  let pushed = ref [] in
+  let popped = ref [] in
+  let stolen = Array.init thieves (fun _ -> ref []) in
+  let owner () =
+    let c = ref (-1) in
+    for v = 0 to pushes - 1 do
+      if Deque.push d v then pushed := v :: !pushed
+    done;
+    for _ = 1 to pops do
+      if Deque.pop_into d c then popped := !c :: !popped
+    done
+  in
+  let thief acc () =
+    let c = ref (-1) in
+    for _ = 1 to steals do
+      if Deque.steal_into d c then acc := !c :: !acc
+    done
+  in
+  let bodies =
+    Array.append [| owner |]
+      (Array.map (fun acc -> thief acc) stolen)
+  in
+  let invariant () =
+    let c = ref (-1) in
+    let remaining = ref [] in
+    while Deque.pop_into d c do
+      remaining := !c :: !remaining
+    done;
+    check_int "drained" 0 (Deque.size d);
+    let all_stolen =
+      List.concat_map (fun acc -> !acc) (Array.to_list stolen)
+    in
+    let claimed =
+      List.sort Int.compare (!popped @ all_stolen @ !remaining)
+    in
+    check_ints "conservation: claimed = pushed"
+      (List.sort Int.compare !pushed)
+      claimed;
+    Array.iter
+      (fun acc ->
+        check_bool "per-thief steals are top-order monotone" true
+          (strictly_increasing (List.rev !acc)))
+      stolen
+  in
+  (bodies, invariant)
+
+let test_interleavings_exhaustive () =
+  (* every owner-vs-one-thief program up to six operations total: all
+     schedules of all atomic-access interleavings. The leaf count is at
+     least the number of op-level interleavings C(ops, steals) — in
+     practice far more, since each op has several atomic accesses. *)
+  for pushes = 0 to 3 do
+    for pops = 0 to 3 do
+      for steals = 0 to 3 do
+        if pushes + pops + steals <= 6 then begin
+          let leaves =
+            explore (deque_program ~pushes ~pops ~thieves:1 ~steals)
+          in
+          let floor = binom (pushes + pops + steals) steals in
+          if leaves < floor then
+            Alcotest.failf
+              "push%d/pop%d/steal%d: %d schedules explored, below the \
+               op-interleaving floor %d"
+              pushes pops steals leaves floor
+        end
+      done
+    done
+  done
+
+let test_interleavings_tie_race () =
+  (* the single-element tie: owner pop and thief steal race through the
+     CAS on [top] for the same item. The conservation invariant proves
+     exactly one of them wins on every schedule. *)
+  let leaves = explore (deque_program ~pushes:1 ~pops:1 ~thieves:1 ~steals:1) in
+  check_bool "explored multiple schedules" true (leaves > 2)
+
+let test_interleavings_two_thieves () =
+  (* thief-vs-thief CAS contention on the same top slot, under every
+     schedule of three concurrent threads *)
+  let leaves =
+    explore (deque_program ~pushes:2 ~pops:0 ~thieves:2 ~steals:1)
+  in
+  check_bool "explored multiple schedules" true (leaves > 6)
+
+let test_interleavings_random_deep () =
+  (* programs past exhaustive reach: random schedules, fixed seed *)
+  explore_random ~seed:7 ~iters:600
+    (deque_program ~pushes:3 ~pops:3 ~thieves:2 ~steals:3);
+  explore_random ~seed:11 ~iters:400
+    (deque_program ~pushes:3 ~pops:1 ~thieves:3 ~steals:2)
+
+(* --- model-based equivalence (qcheck) ------------------------------------ *)
+
+(* The reference: a queue under a mutex, the implementation the deque
+   replaces. Push appends at the bottom, pop takes the bottom, steal
+   takes the top, capacity-bounded like the deque. Sequential traces
+   over both must be identical, op by op. *)
+module Locked = struct
+  type t = { lock : Mutex.t; mutable items : int list; cap : int }
+
+  let create cap = { lock = Mutex.create (); items = []; cap }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let push t x =
+    locked t (fun () ->
+        if List.length t.items >= t.cap then false
+        else begin
+          t.items <- t.items @ [ x ];
+          true
+        end)
+
+  let pop t =
+    locked t (fun () ->
+        match List.rev t.items with
+        | [] -> None
+        | x :: rest ->
+          t.items <- List.rev rest;
+          Some x)
+
+  let steal t =
+    locked t (fun () ->
+        match t.items with
+        | [] -> None
+        | x :: rest ->
+          t.items <- rest;
+          Some x)
+end
+
+type op = Push of int | Pop | Steal
+
+let op_to_string = function
+  | Push x -> Printf.sprintf "push %d" x
+  | Pop -> "pop"
+  | Steal -> "steal"
+
+let ops_arbitrary =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 120)
+        (frequency
+           [
+             (3, map (fun x -> Push x) (int_bound 999));
+             (2, return Pop);
+             (2, return Steal);
+           ]))
+  in
+  QCheck.make gen
+    ~print:(fun ops -> String.concat "; " (List.map op_to_string ops))
+
+let model_equivalence =
+  QCheck.Test.make ~name:"deque trace-equivalent to locked queue" ~count:500
+    ops_arbitrary (fun ops ->
+      let d = Deque.create ~capacity:8 (-1) in
+      let m = Locked.create 8 in
+      let cell = ref (-1) in
+      let trace apply = List.map apply ops in
+      let deque_trace =
+        trace (function
+          | Push x -> if Deque.push d x then "t" else "f"
+          | Pop ->
+            if Deque.pop_into d cell then string_of_int !cell else "-"
+          | Steal ->
+            if Deque.steal_into d cell then string_of_int !cell else "-")
+      in
+      let model_trace =
+        trace (function
+          | Push x -> if Locked.push m x then "t" else "f"
+          | Pop -> (
+            match Locked.pop m with Some v -> string_of_int v | None -> "-")
+          | Steal -> (
+            match Locked.steal m with Some v -> string_of_int v | None -> "-"))
+      in
+      let rec drain_d acc =
+        if Deque.pop_into d cell then drain_d (!cell :: acc) else acc
+      in
+      let rec drain_m acc =
+        match Locked.pop m with Some v -> drain_m (v :: acc) | None -> acc
+      in
+      deque_trace = model_trace && drain_d [] = drain_m [])
+
+(* --- real-parallelism stress --------------------------------------------- *)
+
+let test_domains_stress () =
+  (* one owner domain pushing (and occasionally popping), three thief
+     domains stealing concurrently, on a deque much smaller than the
+     item count so it wraps hundreds of times under contention. The
+     final conservation check is schedule-independent: every item is
+     claimed exactly once, whatever the interleaving was. *)
+  let d = Deque.create ~capacity:64 (-1) in
+  let n_items = 20_000 in
+  let stop = Atomic.make false in
+  let thieves =
+    Array.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let c = ref (-1) in
+            let acc = ref [] in
+            while not (Atomic.get stop) do
+              if Deque.steal_into d c then acc := !c :: !acc
+              else Domain.cpu_relax ()
+            done;
+            let draining = ref true in
+            while !draining do
+              if Deque.steal_into d c then acc := !c :: !acc
+              else draining := false
+            done;
+            !acc))
+  in
+  let popped = ref [] in
+  let c = ref (-1) in
+  for v = 0 to n_items - 1 do
+    while not (Deque.push d v) do
+      if Deque.pop_into d c then popped := !c :: !popped
+    done;
+    if v land 31 = 0 && Deque.pop_into d c then popped := !c :: !popped
+  done;
+  Atomic.set stop true;
+  let stolen = List.concat_map Domain.join (Array.to_list thieves) in
+  while Deque.pop_into d c do
+    popped := !c :: !popped
+  done;
+  let claimed = List.sort Int.compare (!popped @ stolen) in
+  check_int "every item claimed" n_items (List.length claimed);
+  check_ints "claimed exactly once, none lost"
+    (List.init n_items Fun.id)
+    claimed
+
+(* --- pool ---------------------------------------------------------------- *)
+
+let test_pool_create_invalid () =
+  Alcotest.check_raises "zero domains rejected"
+    (Invalid_argument "Pool.create: domains < 1") (fun () ->
+      ignore (Pool.create ~domains:0))
+
+let test_pool_run_all () =
+  Pool.with_pool ~domains:4 (fun p ->
+      check_int "size" 4 (Pool.size p);
+      let n = 500 in
+      let results = Array.make n (-1) in
+      let tasks = Array.init n (fun i () -> results.(i) <- i * i) in
+      let reported = Array.make n 0 in
+      let caller = (Domain.self () :> int) in
+      Pool.run_all p tasks ~on_done:(fun i ->
+          check_int "on_done runs on the calling domain" caller
+            ((Domain.self () :> int));
+          reported.(i) <- reported.(i) + 1);
+      Array.iteri (fun i r -> check_int "task result" (i * i) r) results;
+      Array.iter (fun c -> check_int "each index reported once" 1 c) reported)
+
+let test_pool_run_all_empty_and_single () =
+  Pool.with_pool ~domains:2 (fun p ->
+      Pool.run_all p [||];
+      let hit = ref false in
+      Pool.run_all p [| (fun () -> hit := true) |];
+      check_bool "single task ran" true !hit)
+
+let test_pool_exception_propagation () =
+  Pool.with_pool ~domains:4 (fun p ->
+      let n = 64 in
+      let ran = Array.make n false in
+      let tasks =
+        Array.init n (fun i () ->
+            if i = 17 then failwith "boom";
+            ran.(i) <- true)
+      in
+      (match Pool.run_all p tasks with
+      | () -> Alcotest.fail "expected the task failure to propagate"
+      | exception Failure msg -> check_string "first exception" "boom" msg);
+      Array.iteri
+        (fun i r ->
+          if i <> 17 then check_bool "other tasks still completed" true r)
+        ran;
+      (* nothing was torn down: the same pool runs the next batch *)
+      let sum = Atomic.make 0 in
+      Pool.run_all p
+        (Array.init 100 (fun i () -> ignore (Atomic.fetch_and_add sum i)));
+      check_int "pool reusable after a failed batch" 4950 (Atomic.get sum))
+
+let test_pool_submit_drains_on_shutdown () =
+  let count = Atomic.make 0 in
+  Pool.with_pool ~domains:2 (fun p ->
+      for _ = 1 to 200 do
+        Pool.submit p (fun () -> Atomic.incr count)
+      done);
+  (* shutdown's contract: workers exit only once every source is empty *)
+  check_int "every submitted job ran before join" 200 (Atomic.get count)
+
+let test_pool_lifecycle () =
+  for _ = 1 to 5 do
+    let p = Pool.create ~domains:3 in
+    let hit = Atomic.make 0 in
+    Pool.run_all p (Array.init 16 (fun _ () -> Atomic.incr hit));
+    check_int "batch ran" 16 (Atomic.get hit);
+    Pool.shutdown p;
+    (* second shutdown is a no-op, not a crash *)
+    Pool.shutdown p
+  done
+
+let test_pool_repeated_batches_deterministic () =
+  (* the pool only schedules; the work is index-addressed, so repeated
+     runs fill identical result arrays regardless of which domain ran
+     which task *)
+  Pool.with_pool ~domains:4 (fun p ->
+      let n = 300 in
+      let run () =
+        let results = Array.make n 0 in
+        Pool.run_all p
+          (Array.init n (fun i () -> results.(i) <- (i * 31) land 255));
+        results
+      in
+      let a = run () and b = run () in
+      check_bool "identical across runs" true (a = b))
+
+let () =
+  let qtest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "par"
+    [
+      ( "deque-seq",
+        [
+          Alcotest.test_case "capacity rounding" `Quick
+            test_create_rounds_capacity;
+          Alcotest.test_case "bounded push" `Quick test_push_bounded;
+          Alcotest.test_case "LIFO pop / FIFO steal" `Quick
+            test_lifo_pop_fifo_steal;
+          Alcotest.test_case "wraparound reuse" `Quick test_wraparound;
+        ] );
+      ( "interleavings",
+        [
+          Alcotest.test_case "exhaustive to depth 6" `Quick
+            test_interleavings_exhaustive;
+          Alcotest.test_case "last-element tie race" `Quick
+            test_interleavings_tie_race;
+          Alcotest.test_case "two thieves contend" `Quick
+            test_interleavings_two_thieves;
+          Alcotest.test_case "random deep schedules" `Quick
+            test_interleavings_random_deep;
+        ] );
+      ("model", [ qtest model_equivalence ]);
+      ("stress", [ Alcotest.test_case "4-domain stress" `Quick test_domains_stress ]);
+      ( "pool",
+        [
+          Alcotest.test_case "invalid size" `Quick test_pool_create_invalid;
+          Alcotest.test_case "run_all" `Quick test_pool_run_all;
+          Alcotest.test_case "empty and single batches" `Quick
+            test_pool_run_all_empty_and_single;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "shutdown drains submissions" `Quick
+            test_pool_submit_drains_on_shutdown;
+          Alcotest.test_case "lifecycle reuse" `Quick test_pool_lifecycle;
+          Alcotest.test_case "repeated batches deterministic" `Quick
+            test_pool_repeated_batches_deterministic;
+        ] );
+    ]

@@ -1,14 +1,22 @@
 (* Golden-tier sweep tests: run the canonical reduced array spec once and
    hold it against every figure-shape oracle plus the checked-in golden
-   CSV. The same run, repeated through the forked runner, must reproduce
+   CSV. The same run, repeated through the forked runner and through
+   the lib/par domains backend (every checked-in spec), must reproduce
    the dataset bit-for-bit — the determinism claim the whole golden tier
-   rests on. Synthetic datasets then exercise each oracle's failure
-   direction, so a broken oracle (one that never fires) also fails here. *)
+   rests on. The steal-reduced spec gets its own golden/oracle suite
+   for the Adios-vs-work-stealing dispatch contrast. Synthetic datasets
+   then exercise each oracle's failure direction, so a broken oracle
+   (one that never fires) also fails here. *)
 
 module Spec = Adios_exp.Spec
 module Sweep = Adios_exp.Sweep
 module Dataset = Adios_exp.Dataset
 module Oracle = Adios_exp.Oracle
+module Config = Adios_core.Config
+module Runner = Adios_core.Runner
+module Registry = Adios_obs.Registry
+module Openmetrics = Adios_obs.Openmetrics
+module Pool = Adios_par.Pool
 
 let check = Alcotest.check
 let no_violations name vs = check Alcotest.(list string) name [] vs
@@ -128,6 +136,92 @@ let test_cluster_oracles () =
             (Dataset.geti ds row "errored" > 0)
       end)
     ds.Dataset.rows
+
+(* --- the steal-dispatch golden ------------------------------------------- *)
+
+(* The Adios-vs-Steal dispatch contrast at 16 workers: one sequential
+   run shared by the golden, oracle-bundle and domains-backend tests. *)
+let steal_sequential = lazy (Sweep.run ~jobs:1 Spec.steal_reduced)
+let steal_dataset = lazy (Dataset.of_run (Lazy.force steal_sequential))
+
+let test_steal_golden_match () =
+  match Dataset.load ~path:"golden/steal-reduced.csv" with
+  | Error e -> Alcotest.fail e
+  | Ok golden ->
+    no_violations "within tolerance of the steal golden"
+      (Oracle.compare_golden ~golden (Lazy.force steal_dataset))
+
+let test_steal_oracles () =
+  let ds = Lazy.force steal_dataset in
+  no_violations "steal-dispatch gates" (Oracle.check_steal ds);
+  (* the dispatch split, asserted directly on the rows: only the
+     work-stealing variant ever steals, and it must actually do so
+     (otherwise it silently degenerated into plain d-FCFS and the
+     contrast with single-queue PF-aware dispatch is vacuous) *)
+  List.iter
+    (fun row ->
+      if not (String.equal (Dataset.get ds row "system") "Steal") then
+        check Alcotest.int "single-queue rows never steal" 0
+          (Dataset.geti ds row "steals"))
+    ds.Dataset.rows;
+  check Alcotest.bool "the work-stealing rows steal" true
+    (List.exists
+       (fun row ->
+         String.equal (Dataset.get ds row "system") "Steal"
+         && Dataset.geti ds row "steals" > 0)
+       ds.Dataset.rows)
+
+(* --- the domains backend ------------------------------------------------- *)
+
+(* Sequential baselines, reusing the shared lazy runs where one exists
+   so each spec is simulated sequentially at most once per process. *)
+let baseline spec =
+  if spec == Spec.reduced_array then Lazy.force sequential
+  else if spec == Spec.cluster_reduced then Lazy.force cluster_sequential
+  else if spec == Spec.steal_reduced then Lazy.force steal_sequential
+  else Sweep.run ~jobs:1 spec
+
+let spec_csv spec run =
+  Dataset.to_csv (Dataset.of_run ~cluster:(Spec.clustered spec) run)
+
+(* The `Domains claim from sweep.mli, gated on every checked-in spec:
+   four shared-memory domains on the work-stealing pool produce the
+   same CSV bytes as the in-process sequential runner. Together with
+   the jobs=2 fork tests above this pins all three backends to one
+   output. *)
+let test_domains_bit_identical () =
+  List.iter
+    (fun spec ->
+      let dom = Sweep.run ~jobs:4 ~mode:`Domains spec in
+      check Alcotest.string
+        (spec.Spec.name ^ ": same bytes (jobs=1 vs domains jobs=4)")
+        (spec_csv spec (baseline spec))
+        (spec_csv spec dom))
+    Spec.all_goldens
+
+(* The metrics path under domains: the OpenMetrics exposition of the
+   tiny fixed run, rendered on a pool worker domain, must match the
+   golden that test_obs regenerates from a main-domain run — any
+   domain-local state leaking into the registry or the runner's
+   counters would show up as a byte diff. *)
+let test_domains_metrics_identical () =
+  let render () =
+    let reg = Registry.create () in
+    let _ =
+      Runner.run (Config.default Config.Adios)
+        (Adios_apps.Array_bench.app ~pages:2048 ())
+        ~offered_krps:300. ~requests:500 ~metrics:reg ()
+    in
+    Openmetrics.render reg
+  in
+  let on_worker = ref "" in
+  Pool.with_pool ~domains:2 (fun pool ->
+      Pool.run_all pool [| (fun () -> on_worker := render ()) |]);
+  let golden =
+    In_channel.with_open_bin "golden/tiny-metrics.prom" In_channel.input_all
+  in
+  check Alcotest.string "worker-domain exposition matches the golden"
+    golden !on_worker
 
 (* --- spec --------------------------------------------------------------- *)
 
@@ -367,6 +461,19 @@ let () =
             test_cluster_golden_match;
           Alcotest.test_case "failover split holds" `Quick
             test_cluster_oracles;
+        ] );
+      ( "steal golden",
+        [
+          Alcotest.test_case "matches checked-in golden" `Quick
+            test_steal_golden_match;
+          Alcotest.test_case "dispatch split holds" `Quick test_steal_oracles;
+        ] );
+      ( "domains backend",
+        [
+          Alcotest.test_case "every spec bit-identical" `Quick
+            test_domains_bit_identical;
+          Alcotest.test_case "metrics bit-identical" `Quick
+            test_domains_metrics_identical;
         ] );
       ( "spec",
         [
