@@ -9,6 +9,7 @@ module Config = Adios_core.Config
 module Runner = Adios_core.Runner
 module Report = Adios_core.Report
 module Summary = Adios_stats.Summary
+module Profiler = Adios_prof.Profiler
 module Clock = Adios_engine.Clock
 module Sink = Adios_trace.Sink
 module Chrome = Adios_trace.Chrome
@@ -60,7 +61,8 @@ let dispatch_conv =
 let run system app load requests local_ratio dispatch prefetch no_delegation
     seed show_cdf show_breakdown trace_file timeseries_file trace_cap
     metrics_file metrics_csv_file metrics_interval_us fault_drop fault_spike
-    fault_stall fault_throttle fault_seed fetch_timeout_us fetch_retries =
+    fault_stall fault_throttle fault_seed fetch_timeout_us fetch_retries
+    profile profile_out =
   let cfg = Config.default system in
   let fault =
     {
@@ -108,11 +110,12 @@ let run system app load requests local_ratio dispatch prefetch no_delegation
   let snapshot =
     match metrics_csv_file with None -> None | Some _ -> Some (Timeline.create ())
   in
+  let profile = profile || profile_out <> None in
   let r =
     Runner.run cfg app ~offered_krps:load ~requests ~trace ?timeline ?metrics
       ?snapshot
       ~sample_period:(Clock.of_us metrics_interval_us)
-      ()
+      ~profile ()
   in
   Report.result_line r;
   Report.cpu_efficiency ~title:"CPU efficiency" [ (r.Runner.system, r) ];
@@ -127,6 +130,37 @@ let run system app load requests local_ratio dispatch prefetch no_delegation
       Format.eprintf "adios_sim: cannot write %s: %s@." path msg;
       exit 1
   in
+  (match r.Runner.prof with
+  | None -> ()
+  | Some s ->
+    Report.phase_breakdown ~title:"critical-path phases"
+      [ (r.Runner.system, r) ];
+    Report.phase_bands ~title:"tail forensics (mean cycles/request per band)" r;
+    Report.slowest_requests ~title:"slowest requests" r;
+    (match profile_out with
+    | None -> ()
+    | Some path ->
+      let root = Printf.sprintf "%s/%s" r.Runner.system r.Runner.app in
+      let lines = Profiler.folded ~root s in
+      write path (fun () ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              List.iter
+                (fun l ->
+                  output_string oc l;
+                  output_char oc '\n')
+                lines));
+      Format.printf "profile: %d folded stacks -> %s@." (List.length lines)
+        path);
+    (* the per-request invariant is a correctness gate, not a warning:
+       a nonzero count means a probe is misplaced *)
+    if s.Profiler.violations > 0 then begin
+      Format.eprintf "adios_sim: %d requests violated the phase-sum invariant@."
+        s.Profiler.violations;
+      exit 1
+    end);
   (match (timeseries_file, timeline) with
   | Some path, Some tl ->
     write path (fun () -> Timeline.write_csv ~path tl);
@@ -173,7 +207,11 @@ let run system app load requests local_ratio dispatch prefetch no_delegation
        else "");
     (* a truncated ring loses span openings, so only a complete trace is
        held to the strict invariants *)
-    let report = Checker.check ~strict:(not (Sink.truncated trace)) events in
+    let report =
+      Checker.check
+        ~strict:(not (Sink.truncated trace))
+        ~spans_dropped:(Sink.dropped trace) events
+    in
     Format.printf "%a@." Checker.pp report;
     if not (Checker.ok report) then exit 1
 
@@ -379,6 +417,28 @@ let fetch_retries_arg =
           "Reposts allowed per fetch before the request gives up and \
            replies with an error status.")
 
+let profile_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Attach the streaming critical-path profiler and print the \
+           per-phase breakdown, the per-latency-band tail forensics and \
+           the slowest-requests digest. Profiling is perturbation-free: \
+           every measurement is byte-identical with or without it. The \
+           run exits non-zero if any request's phase cycles fail to sum \
+           to its end-to-end latency.")
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Write folded flamegraph stacks (one \
+           'system/app;band;phase cycles' line per nonzero band x phase; \
+           feed to flamegraph.pl) to FILE. Implies --profile.")
+
 let cmd =
   let doc =
     "run one memory-disaggregation experiment point (Adios reproduction)"
@@ -392,6 +452,6 @@ let cmd =
       $ metrics_out_arg $ metrics_csv_arg $ metrics_interval_arg
       $ fault_drop_arg $ fault_spike_arg $ fault_stall_arg
       $ fault_throttle_arg $ fault_seed_arg $ fetch_timeout_arg
-      $ fetch_retries_arg)
+      $ fetch_retries_arg $ profile_flag_arg $ profile_out_arg)
 
 let () = exit (Cmd.eval cmd)

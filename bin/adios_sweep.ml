@@ -62,6 +62,12 @@ let fail_write path msg =
   Format.eprintf "adios_sweep: cannot write %s: %s@." path msg;
   exit 1
 
+(* The tail-forensics dataset rides next to the main one on disk:
+   sweep.csv -> sweep-phases.csv, test/golden/<spec>.csv ->
+   test/golden/<spec>-phases.csv. *)
+let phases_path path =
+  Filename.remove_extension path ^ "-phases" ^ Filename.extension path
+
 let report title = function
   | [] ->
     Format.printf "%s: ok@." title;
@@ -146,7 +152,13 @@ let regen_golden dir jobs mode quiet =
   end;
   List.iter
     (fun spec ->
-      let run = Sweep.run ~jobs ~mode ~progress:(progress_line quiet) spec in
+      (* profiling is perturbation-free, so running every golden spec
+         with it on regenerates the main golden byte-identically while
+         also producing the tail-forensics twin *)
+      let run =
+        Sweep.run ~jobs ~mode ~profile:true ~progress:(progress_line quiet)
+          spec
+      in
       let ds = Dataset.of_run ~cluster:(Spec.clustered spec) run in
       (match bundle spec ds with
       | [] -> ()
@@ -157,11 +169,24 @@ let regen_golden dir jobs mode quiet =
           (fun v -> Format.eprintf "%s: FAIL: %s@." spec.Spec.name v)
           violations;
         exit 1);
+      let pds = Dataset.phases_of_run run in
+      (match Oracle.check_phases pds with
+      | [] -> ()
+      | violations ->
+        List.iter
+          (fun v -> Format.eprintf "%s-phases: FAIL: %s@." spec.Spec.name v)
+          violations;
+        exit 1);
       let path = Filename.concat dir (spec.Spec.name ^ ".csv") in
       (try Dataset.store ~path ds
        with Sys_error msg -> fail_write path msg);
       Format.printf "golden %s: %d rows -> %s@." spec.Spec.name
-        (Dataset.length ds) path)
+        (Dataset.length ds) path;
+      let ppath = phases_path path in
+      (try Dataset.store ~path:ppath pds
+       with Sys_error msg -> fail_write ppath msg);
+      Format.printf "golden %s-phases: %d rows -> %s@." spec.Spec.name
+        (Dataset.length pds) ppath)
     Spec.all_goldens
 
 (* Simulator-throughput benchmark: run every golden spec (the canonical
@@ -232,7 +257,7 @@ let bench path jobs mode quiet label baseline =
         1))
 
 let run spec_name systems apps loads requests seed jobs mode out golden oracle
-    knee_k json quiet regen bench_out bench_label bench_baseline =
+    knee_k json quiet regen bench_out bench_label bench_baseline profile =
   match (regen, bench_out) with
   | Some dir, _ ->
     regen_golden dir jobs mode quiet;
@@ -265,10 +290,11 @@ let run spec_name systems apps loads requests seed jobs mode out golden oracle
         spec.Spec.seed jobs;
     (* lint: allow determinism -- elapsed-time print only, not in the dataset *)
     let t0 = Unix.gettimeofday () in
-    let ds =
-      Dataset.of_run ~cluster:(Spec.clustered spec)
-        (Sweep.run ~jobs ~mode ~progress:(progress_line quiet) spec)
+    let results =
+      Sweep.run ~jobs ~mode ~profile ~progress:(progress_line quiet) spec
     in
+    let ds = Dataset.of_run ~cluster:(Spec.clustered spec) results in
+    let pds = if profile then Some (Dataset.phases_of_run results) else None in
     if not quiet then
       Format.printf "sweep %s: %d rows in %.1fs@." spec.Spec.name
         (Dataset.length ds)
@@ -281,6 +307,14 @@ let run spec_name systems apps loads requests seed jobs mode out golden oracle
         Dataset.store ~path ds;
         Format.printf "dataset: %d rows -> %s@." (Dataset.length ds) path
       with Sys_error msg -> fail_write path msg));
+    (match (out, pds) with
+    | Some path, Some pds -> (
+      let ppath = phases_path path in
+      try
+        Dataset.store ~path:ppath pds;
+        Format.printf "phases: %d rows -> %s@." (Dataset.length pds) ppath
+      with Sys_error msg -> fail_write ppath msg)
+    | _ -> ());
     (match json with None -> () | Some path -> write_json ~path spec ds);
     if not quiet then print_knees ds;
     let ok = ref true in
@@ -293,7 +327,28 @@ let run spec_name systems apps loads requests seed jobs mode out golden oracle
         exit 1
       | Ok g ->
         ok := report "golden" (Oracle.compare_golden ~golden:g ds) && !ok));
+    (* a profiled run held to a golden is also held to the golden's
+       tail-forensics twin — a missing twin is an error, not a skip, so
+       the phase gate cannot silently fall out of CI *)
+    (match (golden, pds) with
+    | Some path, Some pds -> (
+      let ppath = phases_path path in
+      match Dataset.load ~path:ppath with
+      | Error msg ->
+        Format.eprintf "adios_sweep: phase golden: %s@." msg;
+        exit 1
+      | Ok g ->
+        ok :=
+          report "phase golden"
+            (Oracle.compare_golden ~tolerance:Oracle.phase_tolerance ~golden:g
+               pds)
+          && !ok)
+    | _ -> ());
     if oracle then ok := report "oracle" (bundle spec ~k:knee_k ds) && !ok;
+    (match (oracle, pds) with
+    | true, Some pds ->
+      ok := report "phase oracle" (Oracle.check_phases pds) && !ok
+    | _ -> ());
     if !ok then 0 else 1
 
 open Cmdliner
@@ -461,6 +516,20 @@ let bench_baseline_arg =
            on drift. Wall-clock numbers are never compared — the gate \
            is a determinism check, not a speed check.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Attach the critical-path profiler to every point \
+           (perturbation-free: the main dataset is byte-identical either \
+           way) and derive the tail-forensics dataset — one row per \
+           (point, latency band) with per-phase cycle totals. With --out \
+           FILE the phase rows are stored next to it as \
+           FILE's-name-phases.csv; with --golden they are compared \
+           against the golden's -phases twin; with --oracle the \
+           phase-conservation and tail-attribution checks run.")
+
 let cmd =
   let doc = "run a declarative sweep with figure-shape oracles and goldens" in
   Cmd.v
@@ -469,6 +538,6 @@ let cmd =
       const run $ spec_arg $ systems_arg $ apps_arg $ loads_arg $ requests_arg
       $ seed_arg $ jobs_arg $ mode_arg $ out_arg $ golden_arg $ oracle_arg
       $ knee_k_arg $ json_arg $ quiet_arg $ regen_arg $ bench_arg
-      $ bench_label_arg $ bench_baseline_arg)
+      $ bench_label_arg $ bench_baseline_arg $ profile_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -45,6 +45,12 @@
    - [counter-registry] every mutable field of [System.counters] is
                       projected inside system.ml's [register_metrics],
                       so a new counter cannot bypass the registry.
+   - [phase-wiring]   every [Phase.t] constructor appears in a pattern
+                      in phase.ml (the name table), export.ml (the
+                      tail-forensics CSV column map) and report.ml (the
+                      human-readable label) — a new attribution phase
+                      cannot reach one surface and silently miss the
+                      others behind a wildcard.
 
    Suppressions: an allow-comment naming the rule (syntax in
    README.md, "Static analysis") on the finding's line or the line
@@ -79,7 +85,13 @@ let syntactic_rules =
   ]
 
 let project_rules =
-  [ "event-wiring"; "counter-export"; "metric-export"; "counter-registry" ]
+  [
+    "event-wiring";
+    "counter-export";
+    "metric-export";
+    "counter-registry";
+    "phase-wiring";
+  ]
 
 let typed_rules = [ "zero-alloc"; "cycle-units"; "cmt-drift" ]
 
@@ -855,6 +867,47 @@ let check_counter_registry ~system:(spath, ssrc) =
           else [])
         counters)
 
+let check_phase_wiring ~phase:(ppath, psrc) ~export:(xpath, xsrc)
+    ~report:(rpath, rsrc) =
+  match
+    ( parse_impl ~path:ppath psrc,
+      parse_impl ~path:xpath xsrc,
+      parse_impl ~path:rpath rsrc )
+  with
+  | exception exn -> [ parse_error_finding ~path:ppath exn ]
+  | pstr, xstr, rstr ->
+    let phases = variant_constructors ~type_name:"t" pstr in
+    if phases = [] then
+      [ { file = ppath;
+          line = 1;
+          rule = "phase-wiring";
+          msg = "no variant type named t found: the phase-wiring check is blind"
+        } ]
+    else begin
+      (* presence in a pattern is the check: a wildcard arm does not
+         name the constructor, so hiding a phase behind [_] fires *)
+      let ppats = structure_pattern_constructors pstr in
+      let xpats = structure_pattern_constructors xstr in
+      let rpats = structure_pattern_constructors rstr in
+      List.concat_map
+        (fun (name, line) ->
+          let missing where table file =
+            if Hashtbl.mem table name then []
+            else
+              [ { file = ppath;
+                  line;
+                  rule = "phase-wiring";
+                  msg =
+                    Printf.sprintf
+                      "Phase.t constructor %s has no %s mapping in %s" name
+                      where file } ]
+          in
+          missing "name-table" ppats ppath
+          @ missing "CSV-column" xpats xpath
+          @ missing "report-label" rpats rpath)
+        phases
+    end
+
 (* --- typed layer orchestration -------------------------------------------- *)
 
 (* clock.ml implements the unit conversions themselves: its whole job
@@ -1004,6 +1057,15 @@ let run ?(typed = true) ?build_dir ~root () =
       check_counter_export ~system:s ~runner:r ~export:x
     | _ -> []
   in
+  let phase_wiring =
+    match
+      ( get "lib/prof/phase.ml",
+        get "lib/core/export.ml",
+        get "lib/core/report.ml" )
+    with
+    | Some p, Some x, Some r -> check_phase_wiring ~phase:p ~export:x ~report:r
+    | _ -> []
+  in
   let metric_export = check_metric_export ~sources in
   let counter_registry =
     match get "lib/core/system.ml" with
@@ -1014,8 +1076,8 @@ let run ?(typed = true) ?build_dir ~root () =
     if typed then typed_pass ~build_dir sources else ([], [])
   in
   let raw =
-    per_file @ wiring @ counters @ metric_export @ counter_registry
-    @ typed_findings
+    per_file @ wiring @ counters @ phase_wiring @ metric_export
+    @ counter_registry @ typed_findings
   in
   let final =
     List.concat_map

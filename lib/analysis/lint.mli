@@ -51,6 +51,18 @@ val check_counter_export :
     runner, and every scalar field of the record type [result] must be
     projected as [Runner.field] in the export field list. *)
 
+val check_phase_wiring :
+  phase:string * string ->
+  export:string * string ->
+  report:string * string ->
+  finding list
+(** Cross-file rule [phase-wiring] over [(path, source)] pairs for
+    lib/prof/phase.ml, lib/core/export.ml and lib/core/report.ml: every
+    constructor of the attribution-phase variant type [t] must appear
+    in a pattern of all three files (the name table, the
+    tail-forensics CSV column map and the report label) — wildcard arms
+    do not count. *)
+
 val check_metric_export : sources:(string * string) list -> finding list
 (** Cross-file rule [metric-export] over every [(path, source)] pair:
     metric name literals at registration sites ([counter]/[gauge]/

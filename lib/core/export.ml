@@ -1,5 +1,7 @@
 module Summary = Adios_stats.Summary
 module Clock = Adios_engine.Clock
+module Phase = Adios_prof.Phase
+module Profiler = Adios_prof.Profiler
 
 (* One list drives both the header and the rows, so the two can never
    drift out of arity (the bug this layout replaces: a counter added to
@@ -73,9 +75,13 @@ let fields : (string * (Runner.result -> string)) list =
        CPU block and every earlier prefix keep their positions *)
     ( "clamped_schedules",
       fun r -> string_of_int r.Runner.clamped_schedules );
-    (* appended last (column 45): sibling-queue steals (Work-Stealing
+    (* appended (column 45): sibling-queue steals (Work-Stealing
        dispatch / the Steal system; 0 for every other configuration) *)
     ("steals", fun r -> string_of_int r.Runner.steals);
+    (* appended last (column 46): events evicted by the bounded trace
+       ring — nonzero warns that the recorded trace is truncated (0
+       whenever tracing is off, i.e. in every sweep CSV) *)
+    ("spans_dropped", fun r -> string_of_int r.Runner.spans_dropped);
   ]
 
 let column_names = List.map fst fields
@@ -103,6 +109,54 @@ let cluster_column_names = List.map fst cluster_fields
 
 let cluster_csv_row r =
   String.concat "," (List.map (fun (_, f) -> f r) cluster_fields)
+
+(* --- tail-forensics (phase attribution) CSV ------------------------------ *)
+
+(* Per-phase cycle column of the phase CSV. Spelled as an explicit
+   per-constructor match — no wildcard — so the phase-wiring lint can
+   hold it against {!Adios_prof.Phase.all}: a new phase variant that
+   never reaches this table fails lint, not silently drops a column. *)
+let phase_column = function
+  | Phase.Req_wire -> "req_wire_cycles"
+  | Phase.Queue -> "queue_cycles"
+  | Phase.Ctx_switch -> "ctx_switch_cycles"
+  | Phase.App_compute -> "app_compute_cycles"
+  | Phase.Pf_software -> "pf_software_cycles"
+  | Phase.Busy_wait -> "busy_wait_cycles"
+  | Phase.Fetch_wire -> "fetch_wire_cycles"
+  | Phase.Retry_backoff -> "retry_backoff_cycles"
+  | Phase.Failover_wait -> "failover_wait_cycles"
+  | Phase.Steal_wait -> "steal_wait_cycles"
+  | Phase.Cq_poll -> "cq_poll_cycles"
+  | Phase.Tx -> "tx_cycles"
+
+let phase_column_names = List.map phase_column Phase.all
+
+(* One row per latency band: identity, band population, total e2e
+   cycles, then the per-phase totals (which sum exactly to [e2e_cycles]
+   — the conservation oracle in lib/exp re-checks it from the CSV). *)
+let phase_band_columns =
+  [ "system"; "app"; "band"; "requests"; "e2e_cycles" ] @ phase_column_names
+
+let phase_csv_rows (r : Runner.result) =
+  match r.Runner.prof with
+  | None -> []
+  | Some s ->
+    Array.to_list
+      (Array.map
+         (fun (b : Profiler.band_stats) ->
+           [
+             r.Runner.system;
+             r.Runner.app;
+             b.Profiler.band;
+             string_of_int b.Profiler.requests;
+             string_of_int b.Profiler.e2e_cycles;
+           ]
+           @ List.map
+               (fun p ->
+                 string_of_int b.Profiler.phase_cycles.(Phase.index p))
+               Phase.all)
+         s.Profiler.bands)
 
 let to_csv sweeps =
   let buf = Buffer.create 4096 in

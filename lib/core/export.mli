@@ -25,6 +25,23 @@ val cluster_fields : (string * (Runner.result -> string)) list
 val cluster_column_names : string list
 val cluster_csv_row : Runner.result -> string
 
+val phase_column : Adios_prof.Phase.t -> string
+(** CSV column name carrying a phase's cycles (e.g.
+    [busy_wait_cycles]). An explicit per-constructor match — the
+    phase-wiring lint holds it against {!Adios_prof.Phase.all}. *)
+
+val phase_column_names : string list
+(** [phase_column] over {!Adios_prof.Phase.all}, in index order. *)
+
+val phase_band_columns : string list
+(** Header of the tail-forensics CSV: [system; app; band; requests;
+    e2e_cycles] followed by {!phase_column_names}. Per band,
+    the phase cycle cells sum exactly to [e2e_cycles]. *)
+
+val phase_csv_rows : Runner.result -> string list list
+(** One row per latency band ({!Adios_prof.Profiler.band_names} order)
+    under {!phase_band_columns}; [[]] when the run did not profile. *)
+
 val to_csv : (string * Runner.result list) list -> string
 (** A whole sweep — the [(system, results)] pairs the bench harness
     builds — as a CSV document with header. *)

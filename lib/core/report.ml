@@ -2,6 +2,8 @@ module Summary = Adios_stats.Summary
 module Breakdown = Adios_stats.Breakdown
 module Clock = Adios_engine.Clock
 module Accountant = Adios_obs.Accountant
+module Phase = Adios_prof.Phase
+module Profiler = Adios_prof.Profiler
 
 let pf = Printf.printf
 
@@ -176,6 +178,118 @@ let cpu_efficiency ~title systems =
         systems;
       pf "\n")
     Accountant.states
+
+(* Display label of a request phase. An explicit per-constructor match,
+   like {!Export.phase_column} — the phase-wiring lint holds it against
+   [Phase.all] so new phases cannot be silently invisible in reports. *)
+let phase_label = function
+  | Phase.Req_wire -> "req wire+rx"
+  | Phase.Queue -> "queue wait"
+  | Phase.Ctx_switch -> "ctx switch"
+  | Phase.App_compute -> "app compute"
+  | Phase.Pf_software -> "pf software"
+  | Phase.Busy_wait -> "busy-wait"
+  | Phase.Fetch_wire -> "fetch wire"
+  | Phase.Retry_backoff -> "retry backoff"
+  | Phase.Failover_wait -> "failover wait"
+  | Phase.Steal_wait -> "ready wait"
+  | Phase.Cq_poll -> "cq poll"
+  | Phase.Tx -> "tx+reply wire"
+
+let prof_phase_cycles (s : Profiler.summary) p =
+  Array.fold_left
+    (fun acc (b : Profiler.band_stats) ->
+      acc + b.Profiler.phase_cycles.(Phase.index p))
+    0 s.Profiler.bands
+
+let prof_e2e_cycles (s : Profiler.summary) =
+  Array.fold_left
+    (fun acc (b : Profiler.band_stats) -> acc + b.Profiler.e2e_cycles)
+    0 s.Profiler.bands
+
+(* The request-side twin of {!cpu_efficiency}: where did each *request*
+   cycle go, end to end — one row per attribution phase, one column
+   pair per system (cycles per measured request, share of total e2e
+   cycles; shares sum to exactly 100% by the conservation invariant).
+   Unlike the CPU table this includes off-CPU time: wire, queueing,
+   ready waits. Systems run without profiling print dashes. *)
+let phase_breakdown ~title systems =
+  pf "\n-- %s --\n" title;
+  pf "%-14s" "phase";
+  List.iter (fun (name, _) -> pf "%15s %7s" name "share") systems;
+  pf "    (cycles/measured request, e2e-cycle %%)\n";
+  List.iter
+    (fun p ->
+      pf "%-14s" (phase_label p);
+      List.iter
+        (fun (_, (r : Runner.result)) ->
+          match r.Runner.prof with
+          | None -> pf "%15s %7s" "-" "-"
+          | Some s ->
+            let cycles = prof_phase_cycles s p in
+            let e2e = max 1 (prof_e2e_cycles s) in
+            let per_req =
+              float_of_int cycles
+              /. float_of_int (max 1 s.Profiler.measured)
+            in
+            pf "%15.0f %6.1f%%" per_req
+              (100. *. float_of_int cycles /. float_of_int e2e))
+        systems;
+      pf "\n")
+    Phase.all
+
+(* Tail forensics: the same decomposition conditioned on latency band,
+   one row per band — "what do the p99.9 stragglers wait on that the
+   median does not" read directly off one run. *)
+let phase_bands ~title (r : Runner.result) =
+  match r.Runner.prof with
+  | None -> ()
+  | Some s ->
+    pf "\n-- %s --\n" title;
+    pf "%-10s %9s" "band" "requests";
+    List.iter (fun p -> pf "%14s" (Phase.name p)) Phase.all;
+    pf "    (mean cycles/request in band)\n";
+    Array.iter
+      (fun (b : Profiler.band_stats) ->
+        pf "%-10s %9d" b.Profiler.band b.Profiler.requests;
+        let n = max 1 b.Profiler.requests in
+        List.iter
+          (fun p ->
+            pf "%14.0f"
+              (float_of_int b.Profiler.phase_cycles.(Phase.index p)
+              /. float_of_int n))
+          Phase.all;
+        pf "\n")
+      s.Profiler.bands
+
+(* Top-K digest: the slowest measured requests with their three biggest
+   phases, each with its share of that request's end-to-end latency. *)
+let slowest_requests ~title ?(top = 10) (r : Runner.result) =
+  match r.Runner.prof with
+  | None -> ()
+  | Some s ->
+    pf "\n-- %s --\n" title;
+    let k = min top (Array.length s.Profiler.slowest) in
+    for i = 0 to k - 1 do
+      let sl = s.Profiler.slowest.(i) in
+      let ranked =
+        List.sort
+          (fun a b -> Int.compare (snd b) (snd a))
+          (List.map
+             (fun p -> (p, sl.Profiler.cycles.(Phase.index p)))
+             Phase.all)
+      in
+      let e2e = max 1 sl.Profiler.e2e in
+      pf "#%-3d req=%-8d e2e=%9.2fus " (i + 1) sl.Profiler.id
+        (us sl.Profiler.e2e);
+      List.iteri
+        (fun j (p, c) ->
+          if j < 3 && c > 0 then
+            pf " %s=%.2fus (%.0f%%)" (Phase.name p) (us c)
+              (100. *. float_of_int c /. float_of_int e2e))
+        ranked;
+      pf "\n"
+    done
 
 let result_line (r : Runner.result) =
   pf

@@ -45,5 +45,27 @@ val cpu_efficiency : title:string -> (string * Runner.result) list -> unit
     per completed request and the fraction of worker cycles (dispatcher
     excluded). *)
 
+val phase_label : Adios_prof.Phase.t -> string
+(** Human-readable label of an attribution phase (explicit
+    per-constructor match, checked by the phase-wiring lint). *)
+
+val phase_breakdown : title:string -> (string * Runner.result) list -> unit
+(** Request-side twin of {!cpu_efficiency}: one row per critical-path
+    phase, one column pair per system — cycles per measured request and
+    the share of total end-to-end cycles (shares sum to 100% by the
+    phase-conservation invariant). Includes off-CPU time (wire, queue,
+    ready waits), which the CPU table cannot see. Dashes for systems
+    run without [~profile:true]. *)
+
+val phase_bands : title:string -> Runner.result -> unit
+(** Tail forensics for one run: mean per-request phase cycles in each
+    latency band (p0–p50, p50–p99, p99–p99.9, >p99.9). No output when
+    the run did not profile. *)
+
+val slowest_requests : title:string -> ?top:int -> Runner.result -> unit
+(** Top-K digest (default 10): the slowest measured requests with their
+    three dominant phases and per-phase shares of that request's
+    end-to-end latency. No output when the run did not profile. *)
+
 val result_line : Runner.result -> unit
 (** One-line dump of a single run (diagnostics). *)

@@ -10,6 +10,7 @@ type t = {
   mutable buffer : int;
   mutable errored : bool;
   comps : Adios_stats.Breakdown.components;
+  mutable prof : Adios_prof.Profiler.req option;
 }
 
 let make ~id ~spec ~tx_at =
@@ -23,6 +24,7 @@ let make ~id ~spec ~tx_at =
     buffer = -1;
     errored = false;
     comps = Adios_stats.Breakdown.make ();
+    prof = None;
   }
 
 let e2e_latency t = t.done_at - t.tx_at

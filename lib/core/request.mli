@@ -20,6 +20,9 @@ type t = {
       (** the handler was aborted (fetch retries exhausted); the reply
           carries an error status instead of a result *)
   comps : Adios_stats.Breakdown.components;
+  mutable prof : Adios_prof.Profiler.req option;
+      (** critical-path attribution state, attached at admission when
+          the run profiles ([None] otherwise, costing one word) *)
 }
 
 val make : id:int -> spec:spec -> tx_at:int -> t

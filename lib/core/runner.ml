@@ -9,6 +9,8 @@ module Summary = Adios_stats.Summary
 module Breakdown = Adios_stats.Breakdown
 
 module Timeline = Adios_trace.Timeline
+module Trace_sink = Adios_trace.Sink
+module Profiler = Adios_prof.Profiler
 module Accountant = Adios_obs.Accountant
 module Registry = Adios_obs.Registry
 module Sampler = Adios_obs.Sampler
@@ -48,6 +50,7 @@ type result = {
   faults_injected : int;
   drops_qp : int;
   steals : int;
+  spans_dropped : int;
   nodes : int;
   replication : int;
   crashes : int;
@@ -67,6 +70,8 @@ type result = {
   cpu_dispatch_share : float;
   cpu_tx_share : float;
   cpu_idle_share : float;
+  prof : Profiler.summary option;
+      (* per-request phase attribution, present when the run profiled *)
 }
 
 (* The standard gauge set every time-series run records (DESIGN.md's
@@ -95,9 +100,11 @@ let register_gauges timeline system =
       u)
 
 let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
-    ?timeline ?metrics ?snapshot ?(sample_period = Clock.of_us 5.) () =
+    ?timeline ?metrics ?snapshot ?(sample_period = Clock.of_us 5.)
+    ?(profile = false) () =
   let warmup = match warmup with Some w -> w | None -> requests / 10 in
   let sim = Sim.create () in
+  let prof = if profile then Some (Profiler.create ()) else None in
   let e2e_hist = Histogram.create () in
   let kind_hists =
     Array.init (Array.length app.App.kinds) (fun _ -> Histogram.create ())
@@ -106,6 +113,15 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
   let replies = ref 0 and recorded = ref 0 in
   let on_reply (req : Request.t) =
     incr replies;
+    (match (prof, req.Request.prof) with
+    | Some p, Some r ->
+      (* warmup and errored requests are finalized (the sum invariant
+         holds for them too) but kept out of the banded population,
+         mirroring the e2e histogram's filter below *)
+      Profiler.finalize p r ~done_at:req.Request.done_at
+        ~errored:req.Request.errored
+        ~measured:(req.Request.id > warmup)
+    | (Some _ | None), _ -> ());
     (* error replies count toward conservation but would poison the
        latency statistics: they return early, after the retry budget *)
     if req.Request.id > warmup && not req.Request.errored then begin
@@ -117,11 +133,14 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
       Breakdown.record breakdown req.Request.comps
     end
   in
-  let system = System.create ?trace sim cfg app ~on_reply in
+  let system = System.create ?trace ?prof sim cfg app ~on_reply in
   let labels = [ ("system", Config.system_name cfg.Config.system) ] in
   (match metrics with
   | Some reg -> System.register_metrics system reg ~labels
   | None -> ());
+  (match (metrics, prof) with
+  | Some reg, Some p -> Profiler.register_metrics p reg ~labels
+  | (Some _ | None), _ -> ());
   (* one shared sampling clock drives both periodic consumers, so the
      gauge timeline and the metrics snapshot CSV have aligned rows. The
      sampler is a plain process: it shifts spawn sequence numbers but
@@ -256,6 +275,8 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
     faults_injected = System.faults_injected system;
     drops_qp = counters.System.drops_qp;
     steals = counters.System.steals;
+    spans_dropped =
+      (match trace with Some tr -> Trace_sink.dropped tr | None -> 0);
     nodes = Cluster.node_count cluster;
     replication = (Cluster.config cluster).Cluster.replication;
     crashes = (Cluster.config cluster).Cluster.crashes;
@@ -275,4 +296,5 @@ let run cfg app ~offered_krps ~requests ?warmup ?(max_seconds = 30.) ?trace
     cpu_dispatch_share = share Accountant.Dispatch;
     cpu_tx_share = share Accountant.Tx;
     cpu_idle_share = share Accountant.Idle;
+    prof = Option.map (fun p -> Profiler.summary p) prof;
   }

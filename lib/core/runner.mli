@@ -45,6 +45,10 @@ type result = {
   steals : int;
       (** requests taken from sibling workers' local/ready queues
           (Work-Stealing dispatch and the Steal system; 0 elsewhere) *)
+  spans_dropped : int;
+      (** events evicted by the bounded trace ring ([Sink.dropped]; 0
+          when tracing is off or the ring never overflowed) — nonzero
+          means the recorded trace is truncated *)
   nodes : int;  (** memory nodes in the topology *)
   replication : int;  (** configured copies per page *)
   crashes : int;  (** scheduled node crashes *)
@@ -70,6 +74,10 @@ type result = {
   cpu_dispatch_share : float;  (** ... steal scans (worker-side dispatch) *)
   cpu_tx_share : float;  (** ... posting replies *)
   cpu_idle_share : float;  (** ... parked with nothing to run *)
+  prof : Adios_prof.Profiler.summary option;
+      (** per-request critical-path attribution (phase segmentation,
+          latency-band aggregation, top-K digest), present iff the run
+          was started with [~profile:true]; plain data, marshal-safe *)
 }
 
 val run :
@@ -84,6 +92,7 @@ val run :
   ?metrics:Adios_obs.Registry.t ->
   ?snapshot:Adios_trace.Timeline.t ->
   ?sample_period:Adios_engine.Clock.cycles ->
+  ?profile:bool ->
   unit ->
   result
 (** [run cfg app ~offered_krps ~requests ()] builds a fresh simulated
@@ -106,4 +115,11 @@ val run :
     [snapshot], if given, is sampled with every scalar metric as a
     series. Both periodic consumers — [timeline] and [snapshot] — are
     driven by one {!Adios_obs.Sampler}, so their rows share timestamps
-    and align 1:1. *)
+    and align 1:1.
+
+    [profile] (default false) attaches the critical-path profiler: every
+    admitted request's end-to-end latency is decomposed into the exact
+    {!Adios_prof.Phase} segmentation and aggregated into [result.prof].
+    Profiling is perturbation-free — the same seed yields byte-identical
+    results with it on or off — and, when [metrics] is given, the
+    [adios_req_phase_*] series are registered alongside the system's. *)

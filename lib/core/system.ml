@@ -20,6 +20,8 @@ module Injector = Adios_fault.Injector
 module Acct = Adios_obs.Accountant
 module Registry = Adios_obs.Registry
 module Cluster = Adios_cluster.Cluster
+module Profiler = Adios_prof.Profiler
+module Phase = Adios_prof.Phase
 
 (* Raised inside a unithread when a page fetch exhausted its retries;
    caught at the task boundary so the request completes with an error
@@ -100,6 +102,8 @@ type t = {
   trace_on : bool;  (** cached [Trace_sink.enabled trace]: one load+branch
                         per instrumentation site when tracing is off *)
   acct : Acct.t;  (** CPU slots: workers 0..n-1, dispatcher last *)
+  prof : Profiler.t option;  (** per-request phase attribution, when on *)
+  prof_on : bool;  (** cached [Option.is_some prof], like [trace_on] *)
 }
 
 let counters t = t.counters
@@ -126,6 +130,30 @@ let accountant t = t.acct
    no intervening wait need no switch (zero cycles would accrue). *)
 let acct_cpu t ~cpu st = if cpu >= 0 then Acct.switch t.acct ~cpu st
 let acct_entry t e st = acct_cpu t ~cpu:(worker_id e) st
+
+(* Per-request phase probes, same discipline as [acct_*]: a switch
+   closes the request's current phase segment at [Sim.now] and opens
+   the next — pure reads and array mutation, so the profiler cannot
+   perturb the run. Placed right next to the matching [acct_*] calls;
+   phases that telescope from the previous switch with no intervening
+   wait need no probe of their own. *)
+let pswitch t e ph =
+  if t.prof_on then
+    match e.req.Request.prof with
+    | Some r -> Profiler.switch r ~now:(Sim.now t.sim) ph
+    | None -> ()
+
+let pretry t e =
+  if t.prof_on then
+    match e.req.Request.prof with
+    | Some r -> Profiler.note_retry r ~now:(Sim.now t.sim)
+    | None -> ()
+
+let pfailover t e =
+  if t.prof_on then
+    match e.req.Request.prof with
+    | Some r -> Profiler.note_failover r ~now:(Sim.now t.sim)
+    | None -> ()
 
 let reclaimer t =
   match t.reclaimer with Some r -> r | None -> assert false
@@ -182,6 +210,7 @@ let wait_frame t ~req ~worker ~page =
 let charge_pf t e cycles =
   e.req.Request.comps.pf_sw <- e.req.Request.comps.pf_sw + cycles;
   acct_entry t e Acct.Pf_software;
+  pswitch t e Phase.Pf_software;
   Proc.wait cycles
 
 (* Busy-wait until [page]'s in-flight fetch completes. *)
@@ -190,9 +219,11 @@ let spin_on_inflight t e page =
   let start = Sim.now t.sim in
   Integrator.add t.busy_waiters 1;
   acct_entry t e Acct.Busy_wait;
+  pswitch t e Phase.Busy_wait;
   Proc.suspend (fun resume -> Pager.add_waiter t.pager page resume);
   Integrator.add t.busy_waiters (-1);
   acct_entry t e Acct.Pf_software;
+  pswitch t e Phase.Pf_software;
   comps.rdma <- comps.rdma + (Sim.now t.sim - start)
 
 (* Make a blocked-then-resumed entry runnable again: push it on its
@@ -201,6 +232,9 @@ let spin_on_inflight t e page =
    one of them may grab the entry before the (busy) owner gets to it. *)
 let enqueue_ready t (w : worker) e =
   e.ready_at <- Sim.now t.sim;
+  (* fetch wire time ends here; from the CQE until a worker (owner or
+     thief) polls the entry back in, the request waits in a ready queue *)
+  pswitch t e Phase.Steal_wait;
   Queue.push e w.ready;
   Proc.Gate.signal w.gate;
   if t.cfg.Config.system = Config.Steal then
@@ -214,6 +248,7 @@ let yield_on_inflight t e page =
   let comps = e.req.Request.comps in
   let start = Sim.now t.sim in
   let w = match e.worker with Some w -> w | None -> assert false in
+  pswitch t e Phase.Fetch_wire;
   Pager.add_waiter t.pager page (fun () -> enqueue_ready t w e);
   Task.suspend ();
   comps.rdma <- comps.rdma + (e.ready_at - start)
@@ -313,6 +348,7 @@ let rec ensure_present t e page =
     end;
     if Params.hit_touch_cycles > 0 then begin
       acct_entry t e Acct.Pf_software;
+      pswitch t e Phase.Pf_software;
       Proc.wait Params.hit_touch_cycles
     end
   | Pager.Inflight ->
@@ -429,7 +465,8 @@ and fault t e page =
         ev t Trace_event.Rdma_issue ~req:rid ~worker:wid ~page;
         if failover then begin
           Cluster.note_failover t.cluster;
-          ev t Trace_event.Failover ~req:rid ~worker:wid ~page
+          ev t Trace_event.Failover ~req:rid ~worker:wid ~page;
+          pfailover t e
         end;
         if not (Cluster.node_alive t.cluster node) then
           (* every replica dead: the post lands in a dead NIC and the
@@ -459,6 +496,7 @@ and fault t e page =
                   t.counters.retries_hwm <-
                     max t.counters.retries_hwm (n + 1);
                   ev t Trace_event.Fetch_retry ~req:rid ~worker:wid ~page;
+                  pretry t e;
                   post_attempt ~blocking:false (n + 1)
                 end
               end)
@@ -469,16 +507,21 @@ and fault t e page =
       Integrator.add t.busy_waiters 1;
       (* the spin covers the post (incl. QP backoff) and the CQE wait *)
       acct_cpu t ~cpu:wid Acct.Busy_wait;
+      pswitch t e Phase.Busy_wait;
       post_attempt ~blocking:true 0;
       if !outcome = `Pending then Proc.suspend (fun resume -> waker := resume);
       Integrator.add t.busy_waiters (-1);
       acct_cpu t ~cpu:wid Acct.Pf_software;
+      pswitch t e Phase.Pf_software;
       comps.rdma <- comps.rdma + (Sim.now t.sim - start)
     end
     else begin
       (* Adios: issue and yield (Fig. 5 steps 4-5, 8-10). *)
       let start = Sim.now t.sim in
       waker := (fun () -> enqueue_ready t w e);
+      (* wire time opens before the post so a blocking QP backoff counts
+         against the fetch; the CQE's [enqueue_ready] closes it *)
+      pswitch t e Phase.Fetch_wire;
       post_attempt ~blocking:true 0;
       if !outcome = `Pending then Task.suspend ();
       comps.rdma <- comps.rdma + (e.ready_at - start)
@@ -511,6 +554,7 @@ let make_ctx t e =
   let compute cycles =
     comps.compute <- comps.compute + cycles;
     acct_entry t e Acct.App_compute;
+    pswitch t e Phase.App_compute;
     Proc.wait cycles
   in
   let checkpoint () =
@@ -540,6 +584,9 @@ let send_reply t e =
   let comps = e.req.Request.comps in
   let reply_bytes = e.req.Request.spec.Request.reply_bytes in
   acct_entry t e Acct.Tx;
+  (* Tx runs to the reply's client RX stamp: it covers the post, the
+     wire, and (under Tx_sync_spin) is split below around the CQE spin *)
+  pswitch t e Phase.Tx;
   Proc.wait Params.reply_post_cycles;
   comps.compute <- comps.compute + Params.reply_post_cycles;
   let buffer = e.req.Request.buffer in
@@ -561,6 +608,7 @@ let send_reply t e =
     let start = Sim.now t.sim in
     Integrator.add t.busy_waiters 1;
     acct_entry t e Acct.Busy_wait;
+    pswitch t e Phase.Busy_wait;
     Proc.suspend (fun resume ->
         Raw_eth.send t.reply_channel ~bytes:reply_bytes
           ~on_tx_complete:(fun () ->
@@ -570,6 +618,7 @@ let send_reply t e =
           e.req);
     Integrator.add t.busy_waiters (-1);
     acct_entry t e Acct.Tx;
+    pswitch t e Phase.Tx;
     comps.tx <- comps.tx + (Sim.now t.sim - start);
     Buffer_pool.free t.buffers buffer
   | Config.Tx_deferred ->
@@ -586,6 +635,7 @@ let send_reply t e =
 
 let requeue t e =
   e.enqueued_at <- Sim.now t.sim;
+  pswitch t e Phase.Queue;
   e.bw_integral_at_enqueue <- Integrator.integral t.busy_waiters;
   Queue.push e t.pending;
   Proc.Gate.signal t.dispatch_gate
@@ -618,16 +668,19 @@ let run_entry t w e =
   | Some task ->
     (* preempted unithread re-dispatched: switch back in *)
     acct_cpu t ~cpu:w.wid Acct.Ctx_switch;
+    pswitch t e Phase.Ctx_switch;
     charge_compute e Params.ctx_switch_cycles;
     e.quantum_start <- Sim.now t.sim;
     step_task t e task
   | None ->
     acct_cpu t ~cpu:w.wid Acct.Ctx_switch;
+    pswitch t e Phase.Ctx_switch;
     charge_compute e
       (Params.unithread_create_cycles + Params.ctx_switch_cycles);
     (match t.cfg.Config.system with
     | Config.Hermit ->
       acct_cpu t ~cpu:w.wid Acct.App_compute;
+      pswitch t e Phase.App_compute;
       charge_compute e Params.hermit_request_extra_cycles;
       if Rng.uniform t.rng < Params.hermit_jitter_probability then begin
         let span =
@@ -652,6 +705,7 @@ let resume_ready t (w : worker) e =
   (* poll + switch-in is one wait; attribute it wholly to CQ polling
      rather than splitting it (an extra event could shift tie-breaks) *)
   acct_cpu t ~cpu:w.wid Acct.Cq_poll;
+  pswitch t e Phase.Cq_poll;
   Proc.wait (Params.poll_cycles + Params.ctx_switch_cycles);
   comps.ready_wait <- comps.ready_wait + (Sim.now t.sim - e.ready_at);
   comps.pf_sw <- comps.pf_sw + Params.ctx_switch_cycles;
@@ -871,6 +925,14 @@ let receive t ~rx_at req =
       req.Request.buffer <- buffer;
       t.counters.admitted <- t.counters.admitted + 1;
       ev t Trace_event.Req_enqueue ~req:req.Request.id;
+      (* profiled ⟺ admitted: drops never open attribution state *)
+      (match t.prof with
+      | Some p ->
+        req.Request.prof <-
+          Some
+            (Profiler.attach p ~id:req.Request.id ~tx_at:req.Request.tx_at
+               ~now:(Sim.now t.sim))
+      | None -> ());
       let e =
         {
           req;
@@ -953,7 +1015,7 @@ let evict_page t ~page ~dirty =
         targets
   end
 
-let create ?(trace = Trace_sink.null) sim cfg app ~on_reply =
+let create ?(trace = Trace_sink.null) ?prof sim cfg app ~on_reply =
   let arena = Arena.create ~pages:app.App.pages ~page_size:app.App.page_size in
   app.App.build (View.direct arena);
   let capacity =
@@ -1081,6 +1143,8 @@ let create ?(trace = Trace_sink.null) sim cfg app ~on_reply =
       trace;
       trace_on = Trace_sink.enabled trace;
       acct = Acct.create sim ~cpus:(cfg.Config.workers + 1);
+      prof;
+      prof_on = Option.is_some prof;
     }
   in
   prefill_pages t;

@@ -59,6 +59,7 @@ type counters = {
 
 val create :
   ?trace:Adios_trace.Sink.t ->
+  ?prof:Adios_prof.Profiler.t ->
   Adios_engine.Sim.t ->
   Config.t ->
   App.t ->
@@ -73,7 +74,14 @@ val create :
     costs one branch per probe) receives the full span stream: request
     admission/dispatch/run, fault and RDMA intervals, TX, reclaim and
     stall events. Recording never blocks or consults the RNG, so enabling
-    it does not perturb the simulation. *)
+    it does not perturb the simulation.
+
+    [prof] (off by default) attaches critical-path attribution to every
+    admitted request: phase-switch probes planted beside the
+    accountant's state switches decompose each request's end-to-end
+    latency into the exact {!Adios_prof.Phase} segmentation. Like the
+    trace sink and the accountant, the probes are perturbation-free —
+    the caller finalizes each request from [on_reply]. *)
 
 val receive : t -> rx_at:int -> Request.t -> unit
 (** Deliver a client request packet (wired to the inbound raw-Ethernet

@@ -31,6 +31,26 @@ let of_run ?(cluster = false) run =
         run;
   }
 
+(* The tail-forensics dataset: one row per (point, latency band) with
+   the per-phase cycle totals. Same identity-columns-first layout, so
+   the generic accessors, oracles and golden machinery all apply. *)
+let phase_columns = point_columns @ Export.phase_band_columns
+
+let phases_of_run run =
+  {
+    header = phase_columns;
+    rows =
+      List.concat_map
+        (fun ((p : Spec.point), r) ->
+          List.map
+            (fun cells ->
+              Printf.sprintf "%.1f" p.Spec.load
+              :: string_of_int p.Spec.point_seed
+              :: cells)
+            (Export.phase_csv_rows r))
+        run;
+  }
+
 (* --- CSV ---------------------------------------------------------------- *)
 
 let to_csv t =

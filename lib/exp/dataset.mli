@@ -23,6 +23,15 @@ val of_run :
     appends the cluster-topology columns — pass
     [~cluster:(Spec.clustered spec)]. *)
 
+val phase_columns : string list
+(** [point_columns @ Adios_core.Export.phase_band_columns] — the
+    tail-forensics layout. *)
+
+val phases_of_run : (Spec.point * Adios_core.Runner.result) list -> t
+(** Tail-forensics dataset of a profiled {!Sweep.run} result: one row
+    per (point, latency band) under {!phase_columns}, in run order.
+    Points run without [~profile:true] contribute no rows. *)
+
 val to_csv : t -> string
 val of_csv : string -> (t, string) result
 (** Parse a CSV document; rejects rows whose arity differs from the

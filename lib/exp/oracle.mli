@@ -54,6 +54,41 @@ val check_busywait_elimination :
     every spinning baseline's peak busy-wait share reaches at least
     [spin_min] (default 0.3) somewhere in its curve. *)
 
+val check_phase_conservation : Dataset.t -> violation list
+(** Tail-forensics rows (see {!Dataset.phases_of_run}): the per-phase
+    cycle columns must sum EXACTLY — integer equality, no tolerance —
+    to [e2e_cycles] on every band row. The profiler's per-request
+    invariant, re-proved from the CSV after aggregation and parsing. *)
+
+val tail_bands : string list
+(** The band labels making up the tail: ["p99_p999"; "p999_max"]. *)
+
+val check_tail_attribution :
+  ?busy_max:float ->
+  ?spin_min:float ->
+  ?wire_min:float ->
+  Dataset.t ->
+  violation list
+(** The attribution direction on populated tail-band rows. Per row:
+    yield systems spend at most [busy_max] (default 0.02) of band
+    latency busy-waiting — the yield path never spins, at any load.
+    Per (system, app) curve: the peak tail share of the class's
+    signature wait must reach the floor somewhere — busy-wait + queue
+    at [spin_min] (default 0.25) for spinning baselines, wire + queue
+    + ready waits at [wire_min] (default 0.25) for yield systems —
+    because at low load a heavy-tailed app's compute legitimately owns
+    the tail. Fails (by design) on a synthetic busy-wait-in-the-tail
+    fixture for a yield system. *)
+
+val check_phases :
+  ?busy_max:float ->
+  ?spin_min:float ->
+  ?wire_min:float ->
+  Dataset.t ->
+  violation list
+(** The bundle for a phase dataset: {!check_phase_conservation} plus
+    {!check_tail_attribution}. *)
+
 val check_steal_activity : Dataset.t -> violation list
 (** Steal rows must record at least one sibling-queue steal somewhere in
     the curve, and every single-queue system's steals column must be
@@ -81,6 +116,10 @@ type tolerance = Exact | Band of { abs : float; rel : float }
 val default_tolerance : string -> tolerance
 (** Per-column bands: identity columns exact; latencies 2 us or 25%;
     rates 10 krps or 5%; fractions absolute; counters 50 or 25%. *)
+
+val phase_tolerance : string -> tolerance
+(** Bands for the phase goldens: identity and band columns exact,
+    band populations near-exact, cycle totals 50k cycles or 35%. *)
 
 val compare_golden :
   ?tolerance:(string -> tolerance) ->

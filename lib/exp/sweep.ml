@@ -6,11 +6,12 @@ module Pool = Adios_par.Pool
    worker. [cfg_tweak] rewrites the point's configuration after the spec
    is applied — the hook the bench harness uses for its variants
    (sync-TX, round-robin dispatch, pinned seeds). *)
-let run_point ?(cfg_tweak = fun c -> c) spec (point : Spec.point) =
+let run_point ?(cfg_tweak = fun c -> c) ?(profile = false) spec
+    (point : Spec.point) =
   Runner.run
     (cfg_tweak (Spec.config spec point))
     (point.Spec.make_app ())
-    ~offered_krps:point.Spec.load ~requests:spec.Spec.requests ()
+    ~offered_krps:point.Spec.load ~requests:spec.Spec.requests ~profile ()
 
 let point_label (p : Spec.point) =
   Printf.sprintf "%s/%s @ %.0f krps (seed %d)"
@@ -21,10 +22,10 @@ let point_label (p : Spec.point) =
    (records, arrays, floats), so Marshal round-trips it exactly. *)
 type outcome = Done of Runner.result | Failed of string
 
-let run_sequential ~cfg_tweak ~progress spec points =
+let run_sequential ~cfg_tweak ~profile ~progress spec points =
   List.map
     (fun p ->
-      let r = run_point ~cfg_tweak spec p in
+      let r = run_point ~cfg_tweak ~profile spec p in
       progress p r;
       (p, r))
     points
@@ -35,7 +36,7 @@ let run_sequential ~cfg_tweak ~progress spec points =
    collection deterministic and (b) guarantees every pipe is eventually
    read, so a worker blocked on a full pipe buffer always makes
    progress once its turn comes. *)
-let run_forked ~jobs ~cfg_tweak ~progress spec points =
+let run_forked ~jobs ~cfg_tweak ~profile ~progress spec points =
   let n = List.length points in
   let results = Array.make n None in
   let pending = Queue.create () in
@@ -48,7 +49,7 @@ let run_forked ~jobs ~cfg_tweak ~progress spec points =
       Unix.close rfd;
       let oc = Unix.out_channel_of_descr wfd in
       let outcome =
-        match run_point ~cfg_tweak spec point with
+        match run_point ~cfg_tweak ~profile spec point with
         | r -> Done r
         | exception e -> Failed (Printexc.to_string e)
       in
@@ -108,14 +109,14 @@ let run_forked ~jobs ~cfg_tweak ~progress spec points =
    never what it sees. [progress] still fires in points order: each
    completion drains the longest fully-finished prefix, mirroring the
    forked backend's drain-in-spawn-order behaviour. *)
-let run_domains ~jobs ~cfg_tweak ~progress spec points =
+let run_domains ~jobs ~cfg_tweak ~profile ~progress spec points =
   let parr = Array.of_list points in
   let n = Array.length parr in
   let results = Array.make n None in
   let tasks =
     Array.map
       (fun (p : Spec.point) () ->
-        match run_point ~cfg_tweak spec p with
+        match run_point ~cfg_tweak ~profile spec p with
         | r -> results.(p.Spec.index) <- Some r
         | exception e ->
           failwith
@@ -144,10 +145,10 @@ let run_domains ~jobs ~cfg_tweak ~progress spec points =
     points
 
 let run ?(jobs = 1) ?(mode = `Fork) ?(cfg_tweak = fun c -> c)
-    ?(progress = fun _ _ -> ()) spec =
+    ?(profile = false) ?(progress = fun _ _ -> ()) spec =
   let points = Spec.points spec in
-  if jobs <= 1 then run_sequential ~cfg_tweak ~progress spec points
+  if jobs <= 1 then run_sequential ~cfg_tweak ~profile ~progress spec points
   else
     match mode with
-    | `Fork -> run_forked ~jobs ~cfg_tweak ~progress spec points
-    | `Domains -> run_domains ~jobs ~cfg_tweak ~progress spec points
+    | `Fork -> run_forked ~jobs ~cfg_tweak ~profile ~progress spec points
+    | `Domains -> run_domains ~jobs ~cfg_tweak ~profile ~progress spec points

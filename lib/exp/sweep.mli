@@ -12,12 +12,15 @@
 
 val run_point :
   ?cfg_tweak:(Adios_core.Config.t -> Adios_core.Config.t) ->
+  ?profile:bool ->
   Spec.t ->
   Spec.point ->
   Adios_core.Runner.result
 (** Run one point inline. [cfg_tweak] rewrites the configuration after
     the spec is applied (bench variants: sync-TX, dispatch policy,
-    pinned seeds). *)
+    pinned seeds). [profile] (default false) attaches the critical-path
+    profiler — perturbation-free, so every non-[prof] result field is
+    byte-identical either way. *)
 
 val point_label : Spec.point -> string
 (** Human-readable point identifier for progress and error messages. *)
@@ -26,6 +29,7 @@ val run :
   ?jobs:int ->
   ?mode:[ `Fork | `Domains ] ->
   ?cfg_tweak:(Adios_core.Config.t -> Adios_core.Config.t) ->
+  ?profile:bool ->
   ?progress:(Spec.point -> Adios_core.Runner.result -> unit) ->
   Spec.t ->
   (Spec.point * Adios_core.Runner.result) list

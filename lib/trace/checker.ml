@@ -23,14 +23,16 @@ type report = {
   open_rdma : int;
   open_tx : int;
   open_losses : int;
+  spans_dropped : int;
   errors : string list;
+  warnings : string list;
 }
 
 let max_errors = 50
 
 type fault_interval = { start_ts : int; mutable satisfied : bool }
 
-let check ?(strict = true) events =
+let check ?(strict = true) ?(spans_dropped = 0) events =
   let errors = ref [] and n_errors = ref 0 in
   let error fmt =
     Printf.ksprintf
@@ -376,7 +378,21 @@ let check ?(strict = true) events =
     open_rdma = Hashtbl.fold (fun _ n acc -> acc + n) rdma_open 0;
     open_tx = Hashtbl.length tx_open;
     open_losses = Hashtbl.length lost;
+    spans_dropped;
     errors = List.rev !errors;
+    warnings =
+      (* overflow never corrupts the ring (oldest spans are overwritten
+         whole) but it does make any trace-derived attribution partial;
+         surfacing it here keeps "silently vanished spans" impossible *)
+      (if spans_dropped > 0 then
+         [
+           Printf.sprintf
+             "%d span(s) dropped by the bounded ring sink: the trace is \
+              truncated and segment/attribution queries over it are \
+              incomplete (raise the sink capacity to recover them)"
+             spans_dropped;
+         ]
+       else []);
   }
 
 let ok r = r.errors = []
@@ -397,6 +413,7 @@ let pp ppf r =
     Format.fprintf ppf
       "@,%d node(s) failed, %d failovers, %d pages re-replicated"
       r.nodes_failed r.failovers r.rereplicated;
+  List.iter (fun w -> Format.fprintf ppf "@,warning: %s" w) r.warnings;
   Format.fprintf ppf "@,%s@]"
     (match r.errors with
     | [] -> "invariants: OK"

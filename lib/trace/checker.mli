@@ -64,12 +64,22 @@ type report = {
   open_losses : int;
       (** injected losses whose recovery timeout had not fired when the
           trace ended (allowed: the run stops at the last reply) *)
+  spans_dropped : int;
+      (** spans the bounded ring sink overwrote before the check ran
+          (echoed from the [spans_dropped] argument) *)
   errors : string list;  (** invariant violations, oldest first *)
+  warnings : string list;
+      (** non-fatal diagnostics — today, a truncation notice whenever
+          [spans_dropped > 0], since attribution over a truncated trace
+          is necessarily incomplete *)
 }
 
-val check : ?strict:bool -> Event.t list -> report
+val check : ?strict:bool -> ?spans_dropped:int -> Event.t list -> report
 (** Scan a chronological event list. [strict] defaults to [true]; pass
-    [false] for truncated traces. *)
+    [false] for truncated traces. [spans_dropped] (default 0) is the
+    ring sink's overflow count ({!Sink.dropped}); a nonzero value is
+    surfaced as an explicit warning instead of letting spans silently
+    vanish at capacity. *)
 
 val ok : report -> bool
 (** No violations found. *)

@@ -57,6 +57,33 @@ let golden_columns =
     "cpu_idle_share";
     "clamped_schedules";
     "steals";
+    "spans_dropped";
+  ]
+
+(* The tail-forensics dataset's layout (one row per latency band; see
+   Export.phase_csv_rows): identity columns, the band population, then
+   one cycle-total column per attribution phase in Phase.index order.
+   The phase-wiring lint keeps the column map exhaustive; this list
+   freezes the order the golden -phases.csv files were written in. *)
+let golden_phase_columns =
+  [
+    "system";
+    "app";
+    "band";
+    "requests";
+    "e2e_cycles";
+    "req_wire_cycles";
+    "queue_cycles";
+    "ctx_switch_cycles";
+    "app_compute_cycles";
+    "pf_software_cycles";
+    "busy_wait_cycles";
+    "fetch_wire_cycles";
+    "retry_backoff_cycles";
+    "failover_wait_cycles";
+    "steal_wait_cycles";
+    "cq_poll_cycles";
+    "tx_cycles";
   ]
 
 (* The cluster-topology block appended to clustered datasets only
@@ -92,9 +119,15 @@ let test_csv_header () =
     (String.concat "," golden_columns)
     Export.csv_header
 
+let test_phase_column_names () =
+  Alcotest.check
+    Alcotest.(list string)
+    "phase-band CSV columns, in order" golden_phase_columns
+    Export.phase_band_columns
+
 let test_no_duplicate_columns () =
   let all = Export.column_names @ Export.cluster_column_names in
-  let sorted = List.sort_uniq compare all in
+  let sorted = List.sort_uniq String.compare all in
   Alcotest.check Alcotest.int "no duplicate column names" (List.length all)
     (List.length sorted)
 
@@ -107,6 +140,8 @@ let () =
           Alcotest.test_case "cluster column names frozen" `Quick
             test_cluster_column_names;
           Alcotest.test_case "header line" `Quick test_csv_header;
+          Alcotest.test_case "phase-band column names frozen" `Quick
+            test_phase_column_names;
           Alcotest.test_case "no duplicates" `Quick test_no_duplicate_columns;
         ] );
     ]

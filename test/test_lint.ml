@@ -32,6 +32,7 @@ let test_rule_names () =
       "determinism";
       "event-wildcard";
       "event-wiring";
+      "phase-wiring";
       "counter-export";
       "metric-export";
       "counter-registry";
@@ -457,6 +458,59 @@ let test_event_wiring_missing_everywhere () =
   in
   check_int "one gap per missing mapping" 2 (List.length fs)
 
+(* --- phase wiring (cross-file) ----------------------------------------- *)
+
+let phase_src =
+  "type t = Queue | Tx\n\
+   let name = function Queue -> \"queue\" | Tx -> \"tx\"\n"
+
+let export_full = "let phase_column = function Phase.Queue -> \"queue_cycles\" | Phase.Tx -> \"tx_cycles\"\n"
+let report_full = "let phase_label = function Phase.Queue -> \"queue wait\" | Phase.Tx -> \"tx\"\n"
+
+let phase_wiring ~export ~report =
+  Lint.check_phase_wiring
+    ~phase:("lib/prof/phase.ml", phase_src)
+    ~export:("lib/core/export.ml", export)
+    ~report:("lib/core/report.ml", report)
+
+let test_phase_wiring_clean () =
+  check_clean "fully wired phases"
+    (phase_wiring ~export:export_full ~report:report_full)
+
+let test_phase_wiring_missing_column () =
+  (* Tx missing from the CSV column map: the simulated "added a phase
+     without a column" scenario must fail the lint. *)
+  let fs =
+    phase_wiring
+      ~export:"let phase_column = function Phase.Queue -> \"queue_cycles\"\n"
+      ~report:report_full
+  in
+  check_int "exactly one gap" 1 (List.length fs);
+  let f = List.hd fs in
+  check_string "rule" "phase-wiring" f.Lint.rule;
+  check_string "anchored at the declaration" "lib/prof/phase.ml" f.Lint.file;
+  check_bool "names the constructor" true (contains_sub f.Lint.msg "Tx")
+
+let test_phase_wiring_wildcard_not_enough () =
+  (* a wildcard arm compiles but hides the phase: presence-in-a-pattern
+     is the check, so it must still fire *)
+  let fs =
+    phase_wiring
+      ~export:
+        "let phase_column = function Phase.Queue -> \"queue_cycles\" | _ -> \
+         \"other\"\n"
+      ~report:report_full
+  in
+  check_int "wildcard does not wire Tx" 1 (List.length fs)
+
+let test_phase_wiring_missing_everywhere () =
+  let fs =
+    phase_wiring
+      ~export:"let phase_column = function Phase.Queue -> \"queue_cycles\"\n"
+      ~report:"let phase_label = function Phase.Queue -> \"queue wait\"\n"
+  in
+  check_int "one gap per missing mapping" 2 (List.length fs)
+
 (* --- counter/export (cross-file) --------------------------------------- *)
 
 let counters ~system ~runner ~export =
@@ -687,6 +741,16 @@ let () =
           Alcotest.test_case "missing exporter" `Quick test_event_wiring_missing;
           Alcotest.test_case "missing twice" `Quick
             test_event_wiring_missing_everywhere;
+        ] );
+      ( "phase-wiring",
+        [
+          Alcotest.test_case "clean" `Quick test_phase_wiring_clean;
+          Alcotest.test_case "missing column" `Quick
+            test_phase_wiring_missing_column;
+          Alcotest.test_case "wildcard not enough" `Quick
+            test_phase_wiring_wildcard_not_enough;
+          Alcotest.test_case "missing twice" `Quick
+            test_phase_wiring_missing_everywhere;
         ] );
       ( "counter-export",
         [

@@ -116,6 +116,49 @@ let test_summary () =
     && s.Summary.p99 <= s.Summary.p999
     && s.Summary.p999 <= s.Summary.max)
 
+let test_summary_empty () =
+  let s = Summary.of_histogram (Histogram.create ()) in
+  check_int "count" 0 s.Summary.count;
+  check (Alcotest.float 1e-9) "mean" 0. s.Summary.mean;
+  check_int "min" 0 s.Summary.min;
+  check_int "p10" 0 s.Summary.p10;
+  check_int "p999" 0 s.Summary.p999;
+  check_int "max" 0 s.Summary.max
+
+let test_summary_single_sample () =
+  (* n = 1: every percentile rank clamps to the one sample, so P99.9
+     must be the value itself — and values below 64 live in exact
+     buckets, so there is no bucket rounding to hide behind *)
+  let h = Histogram.create () in
+  Histogram.record h 42;
+  let s = Summary.of_histogram h in
+  check_int "count" 1 s.Summary.count;
+  check_int "min" 42 s.Summary.min;
+  check_int "p10" 42 s.Summary.p10;
+  check_int "p50" 42 s.Summary.p50;
+  check_int "p99" 42 s.Summary.p99;
+  check_int "p999" 42 s.Summary.p999;
+  check_int "max" 42 s.Summary.max;
+  check (Alcotest.float 1e-9) "mean" 42. s.Summary.mean
+
+let test_hist_count_le_boundaries () =
+  let h = Histogram.create () in
+  (* one observation on each side of the exact/split-bucket seam at 64
+     and one in the width-2 region beyond 128 *)
+  List.iter (Histogram.record h) [ 0; 1; 63; 64; 65; 129 ];
+  check_int "negative" 0 (Histogram.count_le h (-1));
+  check_int "le 0" 1 (Histogram.count_le h 0);
+  check_int "le 1" 2 (Histogram.count_le h 1);
+  check_int "le 62" 2 (Histogram.count_le h 62);
+  check_int "le 63" 3 (Histogram.count_le h 63);
+  check_int "le 64" 4 (Histogram.count_le h 64);
+  check_int "le 65" 5 (Histogram.count_le h 65);
+  check_int "le 127" 5 (Histogram.count_le h 127);
+  (* 129 lands in the bucket covering [128, 130), whose range starts at
+     128: cumulative counts are at bucket resolution by contract *)
+  check_int "le 128 includes its whole bucket" 6 (Histogram.count_le h 128);
+  check_int "le max" 6 (Histogram.count_le h 1_000_000)
+
 let components total =
   let c = Breakdown.make () in
   c.Breakdown.compute <- total;
@@ -182,12 +225,19 @@ let () =
           Alcotest.test_case "large resolution" `Quick
             test_hist_large_values_resolution;
           Alcotest.test_case "cdf" `Quick test_hist_cdf;
+          Alcotest.test_case "count_le bucket boundaries" `Quick
+            test_hist_count_le_boundaries;
           Alcotest.test_case "merge" `Quick test_hist_merge;
           Alcotest.test_case "clear" `Quick test_hist_clear;
           q prop_hist_percentile_tracks_exact;
           q prop_hist_mean_exact;
         ] );
-      ("summary", [ Alcotest.test_case "of_histogram" `Quick test_summary ]);
+      ( "summary",
+        [
+          Alcotest.test_case "of_histogram" `Quick test_summary;
+          Alcotest.test_case "empty" `Quick test_summary_empty;
+          Alcotest.test_case "single sample" `Quick test_summary_single_sample;
+        ] );
       ( "breakdown",
         [
           Alcotest.test_case "at_percentile" `Quick test_breakdown;

@@ -22,15 +22,20 @@ let check = Alcotest.check
 let no_violations name vs = check Alcotest.(list string) name [] vs
 
 (* One sequential run shared by every golden test below; a second run
-   through the forked workers checks replay identity. *)
-let sequential = lazy (Sweep.run ~jobs:1 Spec.reduced_array)
+   through the forked workers checks replay identity. The shared run is
+   profiled: attribution is perturbation-free, so the main dataset must
+   still match the unprofiled forked replay and the golden bytes — the
+   replay test doubles as the sweep-scale proof of that claim. *)
+let sequential = lazy (Sweep.run ~jobs:1 ~profile:true Spec.reduced_array)
 let dataset = lazy (Dataset.of_run (Lazy.force sequential))
+let phase_dataset = lazy (Dataset.phases_of_run (Lazy.force sequential))
 
 (* --- the golden sweep --------------------------------------------------- *)
 
 let test_replay_bit_identical () =
   let again = Sweep.run ~jobs:2 Spec.reduced_array in
-  check Alcotest.string "same seed, same bytes (jobs=1 vs jobs=2)"
+  check Alcotest.string
+    "same seed, same bytes (jobs=1 profiled vs jobs=2 unprofiled)"
     (Dataset.to_csv (Lazy.force dataset))
     (Dataset.to_csv (Dataset.of_run again))
 
@@ -80,6 +85,18 @@ let test_throughput_monotone () =
 let test_conservation () =
   no_violations "counters conserve requests"
     (Oracle.check_conservation (Lazy.force dataset))
+
+let test_phase_golden_match () =
+  match Dataset.load ~path:"golden/array-reduced-phases.csv" with
+  | Error e -> Alcotest.fail e
+  | Ok golden ->
+    no_violations "within tolerance of the tail-forensics golden"
+      (Oracle.compare_golden ~tolerance:Oracle.phase_tolerance ~golden
+         (Lazy.force phase_dataset))
+
+let test_phase_oracles () =
+  no_violations "phase conservation + tail attribution"
+    (Oracle.check_phases (Lazy.force phase_dataset))
 
 let test_csv_round_trip () =
   let ds = Lazy.force dataset in
@@ -451,6 +468,9 @@ let () =
           Alcotest.test_case "throughput monotone" `Quick
             test_throughput_monotone;
           Alcotest.test_case "conservation" `Quick test_conservation;
+          Alcotest.test_case "matches tail-forensics golden" `Quick
+            test_phase_golden_match;
+          Alcotest.test_case "phase oracles" `Quick test_phase_oracles;
           Alcotest.test_case "csv round-trip" `Quick test_csv_round_trip;
         ] );
       ( "cluster golden",
